@@ -1,0 +1,257 @@
+// Command ablations quantifies the design choices DESIGN.md calls out,
+// beyond what the paper itself measures:
+//
+//   - synchronization flavor (barrier vs p2p flags vs shared flags,
+//     paper Sect. 6);
+//   - leader count in the pure-MPI hierarchy (single- vs multi-leader,
+//     the related-work alternative [14]) against the hybrid scheme;
+//   - pure allgather algorithm family at fixed shape;
+//   - chunked ("pipelined", [30]) vs plain bridge exchange — a negative
+//     result under a LogGP model (see EXPERIMENTS.md);
+//   - barrier algorithms (dissemination vs central counter).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/coll"
+	"repro/internal/hybrid"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/sim"
+)
+
+func main() {
+	machine := flag.String("machine", "hazelhen-cray", "machine profile")
+	flag.Parse()
+	mk, ok := sim.Profiles()[*machine]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ablations: unknown machine %q\n", *machine)
+		os.Exit(1)
+	}
+	for _, f := range []func(*sim.CostModel) error{
+		syncFlavors, leaderCounts, allgatherAlgos, pipelined, barriers, npbKernels,
+	} {
+		if err := f(mk()); err != nil {
+			fmt.Fprintln(os.Stderr, "ablations:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(model *sim.CostModel, shape []int, body func(p *mpi.Proc) error) (sim.Time, error) {
+	topo, err := sim.NewTopology(shape)
+	if err != nil {
+		return 0, err
+	}
+	w, err := mpi.NewWorld(model, topo)
+	if err != nil {
+		return 0, err
+	}
+	if err := w.Run(body); err != nil {
+		return 0, err
+	}
+	return w.MaxClock(), nil
+}
+
+func uniformShape(nodes, ppn int) []int {
+	s := make([]int, nodes)
+	for i := range s {
+		s[i] = ppn
+	}
+	return s
+}
+
+func syncFlavors(model *sim.CostModel) error {
+	t := &bench.Table{
+		Name:   "Ablation: hybrid allgather synchronization flavor (8 nodes x 24 ranks, us per op)",
+		Note:   "Sect. 6: the paper uses barriers; flag-based schemes are the 'light-weight means'.",
+		Header: []string{"elems", "barrier", "p2p", "sharedflags"},
+	}
+	for _, elems := range []int{1, 512, 16384} {
+		row := []string{fmt.Sprint(elems)}
+		for _, mode := range []hybrid.SyncMode{hybrid.SyncBarrier, hybrid.SyncP2P, hybrid.SyncSharedFlags} {
+			lat, err := bench.HyAllgatherLatency(model, uniformShape(8, 24), 8*elems, bench.MicroOpts{Sync: mode})
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.2f", lat.Us()))
+		}
+		t.AddRow(row...)
+	}
+	return t.Fprint(os.Stdout)
+}
+
+func leaderCounts(model *sim.CostModel) error {
+	t := &bench.Table{
+		Name:   "Ablation: leaders per node, pure-MPI hierarchy vs hybrid (8 nodes x 24 ranks, us per op)",
+		Note:   "Multi-leader [14] parallelizes the intra-node phases; the hybrid scheme removes them.",
+		Header: []string{"elems", "1-leader", "2-leader", "4-leader", "8-leader", "hybrid"},
+	}
+	shape := uniformShape(8, 24)
+	for _, elems := range []int{64, 2048, 16384} {
+		per := 8 * elems
+		row := []string{fmt.Sprint(elems)}
+		for _, leaders := range []int{1, 2, 4, 8} {
+			l := leaders
+			lat, err := run(model, shape, func(p *mpi.Proc) error {
+				m, err := coll.NewMultiLeaderHier(p.CommWorld(), l)
+				if err != nil {
+					return err
+				}
+				recv := mpi.Sized(per * p.Size())
+				for i := 0; i < 3; i++ {
+					if err := m.Allgather(mpi.Sized(per), recv, per); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.2f", (lat/3).Us()))
+		}
+		hy, err := bench.HyAllgatherLatency(model, shape, per, bench.MicroOpts{Iters: 3})
+		if err != nil {
+			return err
+		}
+		row = append(row, fmt.Sprintf("%.2f", hy.Us()))
+		t.AddRow(row...)
+	}
+	return t.Fprint(os.Stdout)
+}
+
+func allgatherAlgos(model *sim.CostModel) error {
+	t := &bench.Table{
+		Name:   "Ablation: flat allgather algorithms (16 nodes x 1 rank, us per op)",
+		Note:   "The classic family [28]; the tuned selector picks per size.",
+		Header: []string{"elems", "ring", "recdbl", "bruck", "neighbor", "auto"},
+	}
+	shape := uniformShape(16, 1)
+	for _, elems := range []int{1, 64, 4096, 65536} {
+		per := 8 * elems
+		row := []string{fmt.Sprint(elems)}
+		algos := []func(c *mpi.Comm, s, r mpi.Buf, per int) error{
+			coll.AllgatherRing, coll.AllgatherRecDbl, coll.AllgatherBruck,
+			coll.AllgatherNeighbor, coll.Allgather,
+		}
+		for _, fn := range algos {
+			f := fn
+			lat, err := run(model, shape, func(p *mpi.Proc) error {
+				return f(p.CommWorld(), mpi.Sized(per), mpi.Sized(per*p.Size()), per)
+			})
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.2f", lat.Us()))
+		}
+		t.AddRow(row...)
+	}
+	return t.Fprint(os.Stdout)
+}
+
+func pipelined(model *sim.CostModel) error {
+	t := &bench.Table{
+		Name:   "Ablation: chunked (pipelined [30]) vs plain bridge exchange (8 nodes x 4 ranks, large blocks)",
+		Note:   "Negative result: a ring is already pipelined at block granularity; chunking only adds latency.",
+		Header: []string{"block_KiB", "plain_us", "chunked128K_us"},
+	}
+	shape := uniformShape(8, 4)
+	for _, kib := range []int{128, 512, 2048} {
+		per := kib << 10
+		row := []string{fmt.Sprint(kib)}
+		for _, chunk := range []int{0, 128 << 10} {
+			ch := chunk
+			lat, err := run(model, shape, func(p *mpi.Proc) error {
+				ctx, err := hybrid.New(p.CommWorld())
+				if err != nil {
+					return err
+				}
+				var opts []hybrid.AllgatherOption
+				if ch > 0 {
+					opts = append(opts, hybrid.WithPipelineChunk(ch))
+				}
+				a, err := ctx.NewAllgatherer(per, opts...)
+				if err != nil {
+					return err
+				}
+				return a.Allgather()
+			})
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.2f", lat.Us()))
+		}
+		t.AddRow(row...)
+	}
+	return t.Fprint(os.Stdout)
+}
+
+func npbKernels(model *sim.CostModel) error {
+	t := &bench.Table{
+		Name:   "Ablation: NPB-style kernels, pure vs hybrid collectives (4 nodes x 24 ranks, ms per run)",
+		Note:   "Allreduce-shaped kernels (CG, EP) gain; alltoall-shaped ones (FT, IS) LOSE badly —\nfunneling a complete exchange through one leader per node serializes what the pairwise\nexchange spreads over every rank. See EXPERIMENTS.md.",
+		Header: []string{"kernel", "pure_ms", "hybrid_ms", "ratio"},
+	}
+	shape := uniformShape(4, 24)
+	for _, kernel := range []npb.Kernel{npb.CG, npb.FT, npb.IS, npb.EP} {
+		var times [2]sim.Time
+		for i, hy := range []bool{false, true} {
+			topo, err := sim.NewTopology(shape)
+			if err != nil {
+				return err
+			}
+			w, err := mpi.NewWorld(model, topo)
+			if err != nil {
+				return err
+			}
+			res, err := npb.Run(w, npb.Config{Kernel: kernel, N: 2048, Iters: 8, Hybrid: hy})
+			if err != nil {
+				return err
+			}
+			times[i] = res.Makespan
+		}
+		t.AddRow(kernel.String(),
+			fmt.Sprintf("%.2f", times[0].Ms()), fmt.Sprintf("%.2f", times[1].Ms()),
+			fmt.Sprintf("%.2f", float64(times[0])/float64(times[1])))
+	}
+	return t.Fprint(os.Stdout)
+}
+
+func barriers(model *sim.CostModel) error {
+	t := &bench.Table{
+		Name:   "Ablation: barrier algorithms (us per barrier)",
+		Note:   "Dissemination (runtime default) vs central counter; single-node barriers take the shm fast path.",
+		Header: []string{"shape", "dissemination", "central"},
+	}
+	for _, shape := range [][]int{{24}, uniformShape(8, 24)} {
+		row := []string{fmt.Sprint(shape)}
+		for _, central := range []bool{false, true} {
+			cen := central
+			lat, err := run(model, shape, func(p *mpi.Proc) error {
+				for i := 0; i < 4; i++ {
+					var err error
+					if cen {
+						err = coll.BarrierCentral(p.CommWorld())
+					} else {
+						err = coll.Barrier(p.CommWorld())
+					}
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.2f", (lat/4).Us()))
+		}
+		t.AddRow(row...)
+	}
+	return t.Fprint(os.Stdout)
+}

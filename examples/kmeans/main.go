@@ -1,0 +1,185 @@
+// Distributed k-means: a machine-learning kernel built on the hybrid
+// collectives, showing how the paper's approach composes — an
+// allreduce-style centroid update (hybrid.Allreducer) plus a broadcast
+// of the new centroids (hybrid.Bcaster) per round, with one shared copy
+// of the centroids per node.
+//
+// Each rank owns a slab of 2-D points drawn around hidden centers; the
+// example runs Lloyd's iterations in the pure-MPI and hybrid flavors,
+// checks they converge to identical centroids, and compares virtual
+// time.
+//
+//	go run ./examples/kmeans
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/coll"
+	"repro/internal/hybrid"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+const (
+	k        = 4   // clusters
+	dims     = 2   // point dimensionality
+	perRank  = 500 // points per rank
+	rounds   = 6
+	stateLen = k * (dims + 1) // per-cluster: coordinate sums + count
+)
+
+func main() {
+	topo := sim.MustUniform(3, 8)
+	var finals [2][]float64
+	var times [2]sim.Time
+	for i, hy := range []bool{false, true} {
+		cents, tm, err := run(topo, hy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		finals[i] = cents
+		times[i] = tm
+	}
+	// The two flavors reduce in different orders (node-local first vs
+	// recursive doubling), so agreement is up to floating-point
+	// reassociation only.
+	for i := range finals[0] {
+		if math.Abs(finals[0][i]-finals[1][i]) > 1e-9*(1+math.Abs(finals[0][i])) {
+			log.Fatalf("flavors diverged at %d: %v vs %v", i, finals[0][i], finals[1][i])
+		}
+	}
+	fmt.Println("k-means over", topo, "ranks,", perRank, "points each,", rounds, "rounds")
+	fmt.Println("final centroids (both flavors identical):")
+	for c := 0; c < k; c++ {
+		fmt.Printf("  cluster %d: (%.3f, %.3f)\n", c, finals[0][c*dims], finals[0][c*dims+1])
+	}
+	fmt.Printf("pure MPI:       %v\n", times[0])
+	fmt.Printf("hybrid MPI+MPI: %v\n", times[1])
+}
+
+func run(topo *sim.Topology, hy bool) ([]float64, sim.Time, error) {
+	w, err := mpi.NewWorld(sim.HazelHenCray(), topo, mpi.WithRealData())
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([][]float64, topo.Size())
+	err = w.Run(func(p *mpi.Proc) error {
+		world := p.CommWorld()
+		points := myPoints(p.Rank())
+		cents := initialCentroids()
+
+		var ctx *hybrid.Ctx
+		var red *hybrid.Allreducer
+		if hy {
+			if ctx, err = hybrid.New(world); err != nil {
+				return err
+			}
+			if red, err = ctx.NewAllreducer(statZero().Len()/8, mpi.Float64); err != nil {
+				return err
+			}
+		}
+
+		for r := 0; r < rounds; r++ {
+			// Local assignment + partial sums.
+			stats := assign(points, cents)
+			p.Compute(float64(perRank * k * dims * 3))
+
+			// Global reduction of the per-cluster sums/counts.
+			var global mpi.Buf
+			if hy {
+				mpi.CopyData(red.Mine(), stats)
+				if err := red.Allreduce(mpi.OpSum); err != nil {
+					return err
+				}
+				global = red.Result()
+			} else {
+				global = mpi.Bytes(make([]byte, stats.Len()))
+				if err := coll.Allreduce(world, stats, global, statsLenElems(), mpi.Float64, mpi.OpSum); err != nil {
+					return err
+				}
+			}
+			cents = recenter(global, cents)
+			// The hybrid result segment is rewritten next round;
+			// fence reads (cf. hybrid.Allgatherer.ReadFence).
+			if hy {
+				if err := ctx.Node().Barrier(); err != nil {
+					return err
+				}
+			}
+		}
+		out[p.Rank()] = cents
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return out[0], w.MaxClock(), nil
+}
+
+func statsLenElems() int { return stateLen }
+
+func statZero() mpi.Buf { return mpi.Bytes(make([]byte, 8*stateLen)) }
+
+// myPoints generates this rank's slab around four hidden centers.
+func myPoints(rank int) [][dims]float64 {
+	centers := [][dims]float64{{0, 0}, {8, 1}, {2, 9}, {-6, 5}}
+	pts := make([][dims]float64, perRank)
+	// Deterministic low-discrepancy-ish scatter; no RNG needed.
+	for i := range pts {
+		c := centers[(rank+i)%k]
+		f1 := math.Sin(float64(rank*7919+i)*0.7) * 1.5
+		f2 := math.Cos(float64(rank*104729+i)*1.1) * 1.5
+		pts[i] = [dims]float64{c[0] + f1, c[1] + f2}
+	}
+	return pts
+}
+
+func initialCentroids() []float64 {
+	return []float64{-1, -1, 6, 0, 1, 7, -4, 4}
+}
+
+// assign buckets points to the nearest centroid and accumulates
+// per-cluster coordinate sums and counts.
+func assign(pts [][dims]float64, cents []float64) mpi.Buf {
+	stats := statZero()
+	for _, pt := range pts {
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < k; c++ {
+			d := 0.0
+			for j := 0; j < dims; j++ {
+				diff := pt[j] - cents[c*dims+j]
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		base := best * (dims + 1)
+		for j := 0; j < dims; j++ {
+			stats.PutFloat64(base+j, stats.Float64At(base+j)+pt[j])
+		}
+		stats.PutFloat64(base+dims, stats.Float64At(base+dims)+1)
+	}
+	return stats
+}
+
+// recenter turns global sums/counts into new centroids (keeping the old
+// centroid for empty clusters).
+func recenter(global mpi.Buf, old []float64) []float64 {
+	cents := make([]float64, k*dims)
+	copy(cents, old)
+	for c := 0; c < k; c++ {
+		base := c * (dims + 1)
+		count := global.Float64At(base + dims)
+		if count == 0 {
+			continue
+		}
+		for j := 0; j < dims; j++ {
+			cents[c*dims+j] = global.Float64At(base+j) / count
+		}
+	}
+	return cents
+}

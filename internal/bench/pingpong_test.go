@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+func TestPingPongMonotone(t *testing.T) {
+	model := sim.HazelHenCray()
+	prev := sim.Time(0)
+	for _, bytes := range []int{0, 64, 4096, 1 << 20} {
+		lat, err := PingPong(model, false, bytes, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat < prev {
+			t.Errorf("latency not monotone at %dB: %v < %v", bytes, lat, prev)
+		}
+		prev = lat
+	}
+}
+
+func TestFitRecoversProfileBeta(t *testing.T) {
+	// The fitted per-byte cost must recover the profile's beta for
+	// both hop classes — a regression guard on the p2p cost
+	// accounting.
+	for _, sameNode := range []bool{true, false} {
+		model := sim.HazelHenCray()
+		_, beta, err := FitAlphaBeta(model, sameNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(model.NetBetaPsPerByte)
+		if sameNode {
+			want = float64(model.ShmBetaPsPerByte)
+		}
+		if math.Abs(beta-want) > 0.05*want {
+			t.Errorf("sameNode=%v: fitted beta %.1f ps/B, profile %.1f", sameNode, beta, want)
+		}
+	}
+}
+
+func TestFitAlphaNearProfile(t *testing.T) {
+	// Fitted alpha = wire latency + software overheads; it must be
+	// within a small constant of the profile's raw alpha.
+	model := sim.VulcanOpenMPI()
+	alpha, _, err := FitAlphaBeta(model, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha < model.NetAlpha {
+		t.Errorf("fitted alpha %v below raw wire latency %v", alpha, model.NetAlpha)
+	}
+	if alpha > model.NetAlpha+10*sim.Microsecond {
+		t.Errorf("fitted alpha %v implausibly far above wire latency %v", alpha, model.NetAlpha)
+	}
+}
+
+func TestTraceStatsOnCollective(t *testing.T) {
+	// Tracing a run must surface the message traffic.
+	tr := sim.NewTracer()
+	model := sim.Laptop()
+	topo, err := sim.NewTopology([]int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(model, topo, mpi.WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(p *mpi.Proc) error {
+		return p.CommWorld().Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Events == 0 {
+		t.Fatal("no events recorded")
+	}
+	if st.ByKind["send"].Count == 0 {
+		t.Error("no sends recorded")
+	}
+	var sb strings.Builder
+	if err := st.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "send") {
+		t.Errorf("stats output missing kinds: %q", sb.String())
+	}
+}

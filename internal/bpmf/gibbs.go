@@ -1,0 +1,161 @@
+package bpmf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/la"
+)
+
+// Gibbs-sampling machinery: the Normal-Wishart hyperparameter draws and
+// the per-row conditional draws of BPMF [26]. All draws are seeded by
+// (seed, iteration, phase, row), never by rank, so a run partitioned
+// over any number of processes produces bit-identical samples — the
+// property the pure-vs-hybrid equivalence tests rely on.
+
+const (
+	alphaPrec = 2.0 // observation precision (paper-standard)
+	beta0     = 2.0 // Normal-Wishart prior strength
+)
+
+// hyper is one phase's sampled hyperparameter set.
+type hyper struct {
+	mu     []float64 // K
+	lambda *la.Mat   // K x K precision
+	lmu    []float64 // lambda * mu, precomputed for the row draws
+}
+
+// rowMajor reads row r of an N x K latent matrix stored as a flat
+// float64 slice.
+func rowOf(m []float64, k, r int) []float64 { return m[r*k : (r+1)*k] }
+
+// sampleHyper draws the Normal-Wishart conditional given the current
+// latent matrix (flat N x K). Every rank calls it with the same inputs
+// and seed and obtains the same draw.
+func sampleHyper(latent []float64, n, k int, rng *rand.Rand) (hyper, error) {
+	// Sufficient statistics.
+	mean := make([]float64, k)
+	for r := 0; r < n; r++ {
+		row := rowOf(latent, k, r)
+		for i := range mean {
+			mean[i] += row[i]
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(n)
+	}
+	cov := la.NewMat(k, k)
+	d := make([]float64, k)
+	for r := 0; r < n; r++ {
+		row := rowOf(latent, k, r)
+		for i := range d {
+			d[i] = row[i] - mean[i]
+		}
+		if err := la.SyrkUpper(cov, d); err != nil {
+			return hyper{}, err
+		}
+	}
+
+	// Posterior Normal-Wishart parameters (mu0 = 0, W0 = I, nu0 = k).
+	nF := float64(n)
+	betaStar := beta0 + nF
+	nuStar := k + n
+	wInv := la.Eye(k)
+	if err := wInv.AddMat(cov); err != nil {
+		return hyper{}, err
+	}
+	coef := beta0 * nF / betaStar
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			wInv.Add(i, j, coef*mean[i]*mean[j])
+		}
+	}
+	wStar, err := la.InvSPD(wInv)
+	if err != nil {
+		return hyper{}, fmt.Errorf("bpmf: hyper W* inversion: %w", err)
+	}
+	lambda, err := la.SampleWishart(wStar, nuStar, rng)
+	if err != nil {
+		return hyper{}, fmt.Errorf("bpmf: Wishart draw: %w", err)
+	}
+
+	// mu ~ N(mu*, (betaStar * lambda)^-1).
+	muStar := make([]float64, k)
+	for i := range muStar {
+		muStar[i] = nF * mean[i] / betaStar
+	}
+	covMu, err := la.InvSPD(lambda.Clone().Scale(betaStar))
+	if err != nil {
+		return hyper{}, fmt.Errorf("bpmf: mu covariance: %w", err)
+	}
+	mu, err := la.SampleMVN(muStar, covMu, rng)
+	if err != nil {
+		return hyper{}, err
+	}
+	lmu, err := la.MulVec(lambda, mu)
+	if err != nil {
+		return hyper{}, err
+	}
+	return hyper{mu: mu, lambda: lambda, lmu: lmu}, nil
+}
+
+// sampleRow draws one row's conditional: given the other side's latent
+// matrix `other` (flat, K columns), the row's observed column indices
+// and values, and the phase hyperparameters.
+func sampleRow(h hyper, other []float64, k int, idx []int32, val []float64, rng *rand.Rand) ([]float64, error) {
+	prec := h.lambda.Clone()
+	b := make([]float64, k)
+	copy(b, h.lmu)
+	for t, j := range idx {
+		o := rowOf(other, k, int(j))
+		for i := 0; i < k; i++ {
+			b[i] += alphaPrec * val[t] * o[i]
+			for c := 0; c < k; c++ {
+				prec.Add(i, c, alphaPrec*o[i]*o[c])
+			}
+		}
+	}
+	l, err := la.Cholesky(prec)
+	if err != nil {
+		return nil, fmt.Errorf("bpmf: row precision not SPD: %w", err)
+	}
+	y, err := la.SolveLower(l, b)
+	if err != nil {
+		return nil, err
+	}
+	mean, err := la.SolveUpperT(l, y)
+	if err != nil {
+		return nil, err
+	}
+	// Sample = mean + L^-T z (covariance = prec^-1).
+	z := make([]float64, k)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	dev, err := la.SolveUpperT(l, z)
+	if err != nil {
+		return nil, err
+	}
+	for i := range mean {
+		mean[i] += dev[i]
+	}
+	return mean, nil
+}
+
+// rowFlops is the virtual-compute charge for sampling one row with the
+// given degree: the Cholesky (k^3/3), the rank-1 accumulations
+// (deg * (k^2 + k)), the solves (~3k^2), plus a fixed per-row library
+// overhead (RNG, small-matrix handling, probit bookkeeping in the real
+// code) that dominates wall time at chembl-like k — the calibrationknob
+// recorded in EXPERIMENTS.md.
+func rowFlops(k, deg int, overhead float64) float64 {
+	kf := float64(k)
+	return kf*kf*kf/3 + float64(deg)*(kf*kf+kf) + 3*kf*kf + overhead
+}
+
+// hyperFlops is the virtual-compute charge of the hyperparameter draw
+// over an n x k latent matrix (covariance accumulation dominates).
+func hyperFlops(n, k int) float64 {
+	kf := float64(k)
+	return float64(n)*(kf*kf+kf) + 10*kf*kf*kf
+}

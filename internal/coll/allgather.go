@@ -1,0 +1,167 @@
+// Package coll implements the classic MPI collective algorithms on top
+// of the internal/mpi runtime: the building blocks real MPI libraries
+// assemble (Thakur, Rabenseifner, Gropp [28]), plus the SMP-aware
+// hierarchical variants the paper uses as its pure-MPI baseline, with
+// MPICH/OpenMPI-style runtime selection driven by the machine profile's
+// tuning table.
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Collective tag space (distinct from the runtime's internal tags; see
+// mpi.Comm.Barrier). One tag per operation family is enough because MPI
+// messages are non-overtaking and collectives on a communicator are
+// serialized.
+const (
+	tagAllgather = 1<<25 + iota
+	tagAllgatherv
+	tagBcast
+	tagGather
+	tagScatter
+	tagReduce
+	tagAllreduce
+	tagAlltoall
+)
+
+// Allgather gathers per-rank blocks of `per` bytes from every rank into
+// every rank's recv buffer (rank order), selecting the algorithm the way
+// the profile's library would: a logarithmic algorithm (recursive
+// doubling on power-of-two communicators, Bruck otherwise) while the
+// total result is small, the ring algorithm beyond.
+func Allgather(c *mpi.Comm, send, recv mpi.Buf, per int) error {
+	if err := checkAllgatherArgs(c, send, recv, per); err != nil {
+		return err
+	}
+	total := per * c.Size()
+	tun := c.Proc().Model().Tuning
+	if total <= tun.AllgatherShortMax {
+		if isPow2(c.Size()) {
+			return AllgatherRecDbl(c, send, recv, per)
+		}
+		return AllgatherBruck(c, send, recv, per)
+	}
+	return AllgatherRing(c, send, recv, per)
+}
+
+func checkAllgatherArgs(c *mpi.Comm, send, recv mpi.Buf, per int) error {
+	switch {
+	case c == nil:
+		return fmt.Errorf("coll: allgather on nil communicator")
+	case per < 0:
+		return fmt.Errorf("coll: negative block size %d", per)
+	case send.Len() < per:
+		return fmt.Errorf("coll: send buffer %dB < block %dB", send.Len(), per)
+	case recv.Len() < per*c.Size():
+		return fmt.Errorf("coll: recv buffer %dB < %d blocks of %dB", recv.Len(), c.Size(), per)
+	}
+	return nil
+}
+
+// placeOwn copies the caller's block into its slot of recv; every
+// allgather algorithm starts this way.
+func placeOwn(c *mpi.Comm, send, recv mpi.Buf, per int) {
+	c.Proc().CopyLocal(recv.Slice(c.Rank()*per, per), send.Slice(0, per), 1)
+}
+
+// AllgatherRing is the bandwidth-optimal ring: n-1 steps, each rank
+// forwarding the block it received in the previous step to its right
+// neighbour. Latency grows linearly in n, so libraries use it only for
+// large totals.
+func AllgatherRing(c *mpi.Comm, send, recv mpi.Buf, per int) error {
+	if err := checkAllgatherArgs(c, send, recv, per); err != nil {
+		return err
+	}
+	placeOwn(c, send, recv, per)
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	right := (c.Rank() + 1) % n
+	left := (c.Rank() - 1 + n) % n
+	for i := 0; i < n-1; i++ {
+		sendIdx := (c.Rank() - i + n) % n
+		recvIdx := (c.Rank() - i - 1 + n) % n
+		_, err := c.Sendrecv(
+			recv.Slice(sendIdx*per, per), right, tagAllgather,
+			recv.Slice(recvIdx*per, per), left, tagAllgather,
+		)
+		if err != nil {
+			return fmt.Errorf("coll: allgather ring step %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// AllgatherRecDbl is recursive doubling: log2(n) exchange steps that
+// double the gathered range each time. Requires a power-of-two size.
+func AllgatherRecDbl(c *mpi.Comm, send, recv mpi.Buf, per int) error {
+	if err := checkAllgatherArgs(c, send, recv, per); err != nil {
+		return err
+	}
+	n := c.Size()
+	if !isPow2(n) {
+		return fmt.Errorf("coll: recursive doubling needs power-of-two size, got %d", n)
+	}
+	placeOwn(c, send, recv, per)
+	rank := c.Rank()
+	for mask := 1; mask < n; mask <<= 1 {
+		partner := rank ^ mask
+		// The block range I currently hold is my mask-aligned
+		// group; the partner holds the adjacent group.
+		haveBase := rank &^ (mask - 1)
+		getBase := partner &^ (mask - 1)
+		_, err := c.Sendrecv(
+			recv.Slice(haveBase*per, mask*per), partner, tagAllgather,
+			recv.Slice(getBase*per, mask*per), partner, tagAllgather,
+		)
+		if err != nil {
+			return fmt.Errorf("coll: allgather recdbl mask %d: %w", mask, err)
+		}
+	}
+	return nil
+}
+
+// AllgatherBruck is Bruck's algorithm: ceil(log2 n) steps on any size,
+// at the price of a final local reordering pass (the rotation), which is
+// why libraries prefer recursive doubling when n is a power of two.
+func AllgatherBruck(c *mpi.Comm, send, recv mpi.Buf, per int) error {
+	if err := checkAllgatherArgs(c, send, recv, per); err != nil {
+		return err
+	}
+	n := c.Size()
+	p := c.Proc()
+	rank := c.Rank()
+	// Work buffer in rotated layout: my block at position 0.
+	tmp := p.World().NewBuf(n * per)
+	p.CopyLocal(tmp.Slice(0, per), send.Slice(0, per), 1)
+
+	have := 1
+	for step := 1; have < n; step <<= 1 {
+		cnt := have
+		if have+cnt > n {
+			cnt = n - have
+		}
+		dst := (rank - step + n) % n
+		src := (rank + step) % n
+		_, err := c.Sendrecv(
+			tmp.Slice(0, cnt*per), dst, tagAllgather,
+			tmp.Slice(have*per, cnt*per), src, tagAllgather,
+		)
+		if err != nil {
+			return fmt.Errorf("coll: allgather bruck step %d: %w", step, err)
+		}
+		have += cnt
+	}
+	// Un-rotate into rank order; this extra full-buffer copy is
+	// charged, part of why Bruck loses to recursive doubling.
+	for i := 0; i < n; i++ {
+		p.CopyLocal(recv.Slice(((rank+i)%n)*per, per), tmp.Slice(i*per, per), 1)
+	}
+	return nil
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }

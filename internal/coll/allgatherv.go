@@ -1,0 +1,200 @@
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Displs returns the standard displacement vector for a count vector:
+// displs[i] = sum(counts[:i]).
+func Displs(counts []int) []int {
+	d := make([]int, len(counts))
+	off := 0
+	for i, c := range counts {
+		d[i] = off
+		off += c
+	}
+	return d
+}
+
+// Total sums a count vector.
+func Total(counts []int) int {
+	t := 0
+	for _, c := range counts {
+		t += c
+	}
+	return t
+}
+
+func checkAllgathervArgs(c *mpi.Comm, recv mpi.Buf, counts []int) error {
+	switch {
+	case c == nil:
+		return fmt.Errorf("coll: allgatherv on nil communicator")
+	case len(counts) != c.Size():
+		return fmt.Errorf("coll: allgatherv got %d counts for %d ranks", len(counts), c.Size())
+	}
+	for r, n := range counts {
+		if n < 0 {
+			return fmt.Errorf("coll: allgatherv count[%d] = %d", r, n)
+		}
+	}
+	if recv.Len() < Total(counts) {
+		return fmt.Errorf("coll: allgatherv recv buffer %dB < total %dB", recv.Len(), Total(counts))
+	}
+	return nil
+}
+
+// Allgatherv is the irregular allgather: rank r contributes counts[r]
+// bytes. Algorithm selection mirrors how real libraries treat the v
+// variant as a second-class citizen ([29], paper Fig. 8): the
+// logarithmic path is used only for much smaller totals than
+// MPI_Allgather's, every call pays a vector-walking setup, and every
+// step pays a bookkeeping penalty.
+//
+// The caller's contribution must already sit at its displacement in recv
+// (MPI_IN_PLACE semantics) — that is exactly how the paper's Fig. 4 uses
+// MPI_Allgatherv on the shared buffer — unless send is non-empty, in
+// which case it is copied there first.
+func Allgatherv(c *mpi.Comm, send, recv mpi.Buf, counts []int) error {
+	if err := checkAllgathervArgs(c, recv, counts); err != nil {
+		return err
+	}
+	displs := Displs(counts)
+	if send.Len() > 0 {
+		c.Proc().CopyLocal(recv.Slice(displs[c.Rank()], counts[c.Rank()]), send, 1)
+	}
+	return AllgathervInPlace(c, recv, counts)
+}
+
+// AllgathervInPlace runs the irregular allgather assuming each rank's
+// block is already placed at its displacement in recv.
+func AllgathervInPlace(c *mpi.Comm, recv mpi.Buf, counts []int) error {
+	if err := checkAllgathervArgs(c, recv, counts); err != nil {
+		return err
+	}
+	if c.Size() == 1 {
+		return nil
+	}
+	p := c.Proc()
+	tun := p.Model().Tuning
+	// The per-call setup: walking the count/displacement vectors.
+	p.Elapse(tun.AllgathervSetup)
+	if Total(counts) <= tun.AllgathervShortMax && isPow2(c.Size()) {
+		return allgathervRecDbl(c, recv, counts)
+	}
+	return allgathervRing(c, recv, counts)
+}
+
+// AllgathervExplicit runs the ring allgatherv with caller-provided
+// displacements (which need not be prefix sums — the multi-leader
+// hierarchy scatters node slices through a strided layout). Each rank's
+// block must already sit at displs[rank].
+func AllgathervExplicit(c *mpi.Comm, recv mpi.Buf, counts, displs []int) error {
+	if c == nil {
+		return fmt.Errorf("coll: allgatherv on nil communicator")
+	}
+	if len(counts) != c.Size() || len(displs) != c.Size() {
+		return fmt.Errorf("coll: allgatherv got %d counts / %d displs for %d ranks",
+			len(counts), len(displs), c.Size())
+	}
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	p := c.Proc()
+	tun := p.Model().Tuning
+
+	// When the displacements are an ordinary prefix layout the call is
+	// equivalent to the standard in-place allgatherv and gets the same
+	// algorithm selection (including the logarithmic small-message
+	// path). Genuinely strided layouts always ring.
+	prefix := true
+	for i := 1; i < n; i++ {
+		if displs[i] != displs[i-1]+counts[i-1] {
+			prefix = false
+			break
+		}
+	}
+	if prefix && displs[0] == 0 && Total(counts) <= tun.AllgathervShortMax && isPow2(n) {
+		p.Elapse(tun.AllgathervSetup)
+		return allgathervRecDbl(c, recv, counts)
+	}
+
+	p.Elapse(tun.AllgathervSetup)
+	right := (c.Rank() + 1) % n
+	left := (c.Rank() - 1 + n) % n
+	penalty := tun.AllgathervStepPenalty
+	for i := 0; i < n-1; i++ {
+		sendIdx := (c.Rank() - i + n) % n
+		recvIdx := (c.Rank() - i - 1 + n) % n
+		p.Elapse(penalty)
+		_, err := c.Sendrecv(
+			recv.Slice(displs[sendIdx], counts[sendIdx]), right, tagAllgatherv,
+			recv.Slice(displs[recvIdx], counts[recvIdx]), left, tagAllgatherv,
+		)
+		if err != nil {
+			return fmt.Errorf("coll: allgatherv explicit step %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// allgathervRing is the ring algorithm on irregular blocks: n-1 steps;
+// step cost is dominated by the largest block in flight, which is why
+// the irregular-population case (paper Fig. 10) hurts the pure-MPI
+// flavor that must run it over *all* ranks.
+func allgathervRing(c *mpi.Comm, recv mpi.Buf, counts []int) error {
+	n := c.Size()
+	displs := Displs(counts)
+	right := (c.Rank() + 1) % n
+	left := (c.Rank() - 1 + n) % n
+	penalty := c.Proc().Model().Tuning.AllgathervStepPenalty
+	for i := 0; i < n-1; i++ {
+		sendIdx := (c.Rank() - i + n) % n
+		recvIdx := (c.Rank() - i - 1 + n) % n
+		c.Proc().Elapse(penalty)
+		_, err := c.Sendrecv(
+			recv.Slice(displs[sendIdx], counts[sendIdx]), right, tagAllgatherv,
+			recv.Slice(displs[recvIdx], counts[recvIdx]), left, tagAllgatherv,
+		)
+		if err != nil {
+			return fmt.Errorf("coll: allgatherv ring step %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// allgathervRecDbl is recursive doubling over irregular blocks
+// (power-of-two sizes only; the selector guarantees that).
+func allgathervRecDbl(c *mpi.Comm, recv mpi.Buf, counts []int) error {
+	n := c.Size()
+	rank := c.Rank()
+	displs := Displs(counts)
+	penalty := c.Proc().Model().Tuning.AllgathervStepPenalty
+
+	// rangeOf returns the byte span covering blocks [base, base+m).
+	rangeOf := func(base, m int) (off, length int) {
+		off = displs[base]
+		for b := base; b < base+m; b++ {
+			length += counts[b]
+		}
+		return off, length
+	}
+	for mask := 1; mask < n; mask <<= 1 {
+		partner := rank ^ mask
+		haveBase := rank &^ (mask - 1)
+		getBase := partner &^ (mask - 1)
+		hOff, hLen := rangeOf(haveBase, mask)
+		gOff, gLen := rangeOf(getBase, mask)
+		c.Proc().Elapse(penalty)
+		_, err := c.Sendrecv(
+			recv.Slice(hOff, hLen), partner, tagAllgatherv,
+			recv.Slice(gOff, gLen), partner, tagAllgatherv,
+		)
+		if err != nil {
+			return fmt.Errorf("coll: allgatherv recdbl mask %d: %w", mask, err)
+		}
+	}
+	return nil
+}

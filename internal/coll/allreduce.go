@@ -1,0 +1,247 @@
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Allreduce reduces count elements of type dt with op across all ranks,
+// leaving the result on every rank in recv. send and recv hold count
+// elements each. Algorithm selection follows MPICH: recursive doubling
+// for short messages, Rabenseifner's reduce-scatter + allgather beyond.
+func Allreduce(c *mpi.Comm, send, recv mpi.Buf, count int, dt mpi.Datatype, op mpi.Op) error {
+	if err := checkReduceArgs(c, send, recv, count, dt); err != nil {
+		return err
+	}
+	bytes := count * dt.Size()
+	if bytes <= c.Proc().Model().Tuning.AllreduceShortMax || count < c.Size() {
+		return AllreduceRecDbl(c, send, recv, count, dt, op)
+	}
+	return AllreduceRabenseifner(c, send, recv, count, dt, op)
+}
+
+func checkReduceArgs(c *mpi.Comm, send, recv mpi.Buf, count int, dt mpi.Datatype) error {
+	switch {
+	case c == nil:
+		return fmt.Errorf("coll: reduce on nil communicator")
+	case count < 0:
+		return fmt.Errorf("coll: negative element count %d", count)
+	case send.Len() < count*dt.Size():
+		return fmt.Errorf("coll: reduce send buffer %dB < %d x %s", send.Len(), count, dt)
+	case recv.Len() < count*dt.Size():
+		return fmt.Errorf("coll: reduce recv buffer %dB < %d x %s", recv.Len(), count, dt)
+	}
+	return nil
+}
+
+// foldExtras maps a non-power-of-two communicator onto its largest
+// power-of-two core, MPICH style: the first 2*rem ranks pair up, evens
+// hand their contribution to odds and sit out. It returns the caller's
+// core rank (-1 if idle) and the core size.
+//
+// translate maps a core rank back to a comm rank.
+func foldCore(n int) (pof2, rem int) {
+	pof2 = 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	return pof2, n - pof2
+}
+
+func coreToComm(coreRank, rem int) int {
+	if coreRank < rem {
+		return coreRank*2 + 1
+	}
+	return coreRank + rem
+}
+
+// AllreduceRecDbl is recursive doubling: log2(n) full-size exchanges,
+// each followed by a local reduction. Latency-optimal; bandwidth cost
+// log2(n) times the payload.
+func AllreduceRecDbl(c *mpi.Comm, send, recv mpi.Buf, count int, dt mpi.Datatype, op mpi.Op) error {
+	if err := checkReduceArgs(c, send, recv, count, dt); err != nil {
+		return err
+	}
+	p := c.Proc()
+	bytes := count * dt.Size()
+	n := c.Size()
+	p.CopyLocal(recv.Slice(0, bytes), send.Slice(0, bytes), 1)
+	if n == 1 {
+		return nil
+	}
+	tmp := p.World().NewBuf(bytes)
+
+	pof2, rem := foldCore(n)
+	rank := c.Rank()
+	coreRank := -1
+	switch {
+	case rank < 2*rem && rank%2 == 0:
+		// Fold my contribution into my odd neighbour and idle.
+		if err := c.Send(recv.Slice(0, bytes), rank+1, tagAllreduce); err != nil {
+			return err
+		}
+	case rank < 2*rem:
+		if _, err := c.Recv(tmp, rank-1, tagAllreduce); err != nil {
+			return err
+		}
+		op.Apply(recv, tmp, count, dt)
+		p.Compute(float64(count))
+		coreRank = rank / 2
+	default:
+		coreRank = rank - rem
+	}
+
+	if coreRank >= 0 {
+		for mask := 1; mask < pof2; mask <<= 1 {
+			partner := coreToComm(coreRank^mask, rem)
+			if _, err := c.Sendrecv(recv.Slice(0, bytes), partner, tagAllreduce, tmp, partner, tagAllreduce); err != nil {
+				return fmt.Errorf("coll: allreduce recdbl mask %d: %w", mask, err)
+			}
+			op.Apply(recv, tmp, count, dt)
+			p.Compute(float64(count))
+		}
+	}
+
+	// Unfold: odds return the final result to their idle evens.
+	if rank < 2*rem {
+		if rank%2 == 0 {
+			if _, err := c.Recv(recv.Slice(0, bytes), rank+1, tagAllreduce); err != nil {
+				return err
+			}
+		} else {
+			if err := c.Send(recv.Slice(0, bytes), rank-1, tagAllreduce); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AllreduceRabenseifner is reduce-scatter (recursive halving) followed
+// by allgather (recursive doubling): bandwidth-optimal for large
+// payloads.
+func AllreduceRabenseifner(c *mpi.Comm, send, recv mpi.Buf, count int, dt mpi.Datatype, op mpi.Op) error {
+	if err := checkReduceArgs(c, send, recv, count, dt); err != nil {
+		return err
+	}
+	p := c.Proc()
+	es := dt.Size()
+	bytes := count * es
+	n := c.Size()
+	p.CopyLocal(recv.Slice(0, bytes), send.Slice(0, bytes), 1)
+	if n == 1 {
+		return nil
+	}
+	pof2, rem := foldCore(n)
+	if count < pof2 {
+		// Too few elements to scatter; fall back.
+		return AllreduceRecDbl(c, send, recv, count, dt, op)
+	}
+	tmp := p.World().NewBuf(bytes)
+	rank := c.Rank()
+	coreRank := -1
+	switch {
+	case rank < 2*rem && rank%2 == 0:
+		if err := c.Send(recv.Slice(0, bytes), rank+1, tagAllreduce); err != nil {
+			return err
+		}
+	case rank < 2*rem:
+		if _, err := c.Recv(tmp, rank-1, tagAllreduce); err != nil {
+			return err
+		}
+		op.Apply(recv, tmp, count, dt)
+		p.Compute(float64(count))
+		coreRank = rank / 2
+	default:
+		coreRank = rank - rem
+	}
+
+	if coreRank >= 0 {
+		// Element ranges per core rank: near-equal contiguous
+		// splits.
+		cnts := make([]int, pof2)
+		base := count / pof2
+		extra := count % pof2
+		for i := range cnts {
+			cnts[i] = base
+			if i < extra {
+				cnts[i]++
+			}
+		}
+		displ := Displs(scale(cnts, es))
+		elDispl := Displs(cnts)
+
+		// Recursive halving reduce-scatter: after step with the
+		// given mask, I hold the reduced range of my mask-sized
+		// group.
+		lo, hi := 0, pof2 // my current group of piece indices
+		for mask := pof2 / 2; mask > 0; mask >>= 1 {
+			partnerCore := coreRank ^ mask
+			partner := coreToComm(partnerCore, rem)
+			mid := lo + (hi-lo)/2
+			var sendLo, sendHi, keepLo, keepHi int
+			if coreRank < mid {
+				keepLo, keepHi = lo, mid
+				sendLo, sendHi = mid, hi
+			} else {
+				keepLo, keepHi = mid, hi
+				sendLo, sendHi = lo, mid
+			}
+			sOff := displ[sendLo]
+			sLen := displ[sendHi-1] + cnts[sendHi-1]*es - sOff
+			kOff := displ[keepLo]
+			kLen := displ[keepHi-1] + cnts[keepHi-1]*es - kOff
+			if _, err := c.Sendrecv(
+				recv.Slice(sOff, sLen), partner, tagAllreduce,
+				tmp.Slice(kOff, kLen), partner, tagAllreduce,
+			); err != nil {
+				return fmt.Errorf("coll: rabenseifner halving: %w", err)
+			}
+			kElems := elDispl[keepHi-1] + cnts[keepHi-1] - elDispl[keepLo]
+			op.Apply(recv.Slice(kOff, kLen), tmp.Slice(kOff, kLen), kElems, dt)
+			p.Compute(float64(kElems))
+			lo, hi = keepLo, keepHi
+		}
+
+		// Allgather the reduced pieces back with recursive
+		// doubling over the same ranges.
+		for mask := 1; mask < pof2; mask <<= 1 {
+			partnerCore := coreRank ^ mask
+			partner := coreToComm(partnerCore, rem)
+			haveBase := coreRank &^ (mask - 1)
+			getBase := partnerCore &^ (mask - 1)
+			hOff := displ[haveBase]
+			hLen := displ[haveBase+mask-1] + cnts[haveBase+mask-1]*es - hOff
+			gOff := displ[getBase]
+			gLen := displ[getBase+mask-1] + cnts[getBase+mask-1]*es - gOff
+			if _, err := c.Sendrecv(
+				recv.Slice(hOff, hLen), partner, tagAllreduce,
+				recv.Slice(gOff, gLen), partner, tagAllreduce,
+			); err != nil {
+				return fmt.Errorf("coll: rabenseifner allgather: %w", err)
+			}
+		}
+	}
+
+	if rank < 2*rem {
+		if rank%2 == 0 {
+			if _, err := c.Recv(recv.Slice(0, bytes), rank+1, tagAllreduce); err != nil {
+				return err
+			}
+		} else {
+			if err := c.Send(recv.Slice(0, bytes), rank-1, tagAllreduce); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func scale(v []int, k int) []int {
+	out := make([]int, len(v))
+	for i, x := range v {
+		out[i] = x * k
+	}
+	return out
+}

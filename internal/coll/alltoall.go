@@ -1,0 +1,124 @@
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Alltoall performs the complete exchange: rank i's j-th send block of
+// `per` bytes lands in rank j's recv buffer at block i. The pairwise
+// exchange algorithm runs n-1 balanced steps (XOR pairing on
+// power-of-two sizes, shifted pairing otherwise).
+func Alltoall(c *mpi.Comm, send, recv mpi.Buf, per int) error {
+	switch {
+	case c == nil:
+		return fmt.Errorf("coll: alltoall on nil communicator")
+	case per < 0:
+		return fmt.Errorf("coll: alltoall negative block size")
+	case send.Len() < per*c.Size() || recv.Len() < per*c.Size():
+		return fmt.Errorf("coll: alltoall buffers too small for %d x %dB", c.Size(), per)
+	}
+	n := c.Size()
+	rank := c.Rank()
+	p := c.Proc()
+	p.CopyLocal(recv.Slice(rank*per, per), send.Slice(rank*per, per), 1)
+	for step := 1; step < n; step++ {
+		var sendTo, recvFrom int
+		if isPow2(n) {
+			sendTo = rank ^ step
+			recvFrom = sendTo
+		} else {
+			sendTo = (rank + step) % n
+			recvFrom = (rank - step + n) % n
+		}
+		_, err := c.Sendrecv(
+			send.Slice(sendTo*per, per), sendTo, tagAlltoall,
+			recv.Slice(recvFrom*per, per), recvFrom, tagAlltoall,
+		)
+		if err != nil {
+			return fmt.Errorf("coll: alltoall step %d: %w", step, err)
+		}
+	}
+	return nil
+}
+
+// Reduce folds count elements onto root with a binomial tree,
+// accumulating partial results on the way up (commutative ops only,
+// like every op in internal/mpi).
+func Reduce(c *mpi.Comm, send, recv mpi.Buf, count int, dt mpi.Datatype, op mpi.Op, root int) error {
+	if err := checkRootArgs(c, root); err != nil {
+		return err
+	}
+	if err := checkReduceArgs(c, send, send, count, dt); err != nil {
+		return err
+	}
+	p := c.Proc()
+	bytes := count * dt.Size()
+	n := c.Size()
+	rel := (c.Rank() - root + n) % n
+
+	acc := p.World().NewBuf(bytes)
+	p.CopyLocal(acc, send.Slice(0, bytes), 1)
+	tmp := p.World().NewBuf(bytes)
+
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent := (rel - mask + root) % n
+			if err := c.Send(acc, parent, tagReduce); err != nil {
+				return fmt.Errorf("coll: reduce send: %w", err)
+			}
+			return nil
+		}
+		if rel+mask < n {
+			child := (rel + mask + root) % n
+			if _, err := c.Recv(tmp, child, tagReduce); err != nil {
+				return fmt.Errorf("coll: reduce recv: %w", err)
+			}
+			op.Apply(acc, tmp, count, dt)
+			p.Compute(float64(count))
+		}
+		mask <<= 1
+	}
+	// Root deposits the result.
+	if recv.Len() < bytes {
+		return fmt.Errorf("coll: reduce recv buffer %dB < %dB", recv.Len(), bytes)
+	}
+	p.CopyLocal(recv.Slice(0, bytes), acc, 1)
+	return nil
+}
+
+// Barrier synchronizes the communicator with the dissemination
+// algorithm (the runtime's native barrier).
+func Barrier(c *mpi.Comm) error { return c.Barrier() }
+
+// BarrierCentral is the naive central-counter barrier: gather
+// zero-byte tokens at rank 0, then broadcast a release. It exists as an
+// ablation against the dissemination barrier (2(n-1) serialized hops vs
+// log2(n) balanced rounds).
+func BarrierCentral(c *mpi.Comm) error {
+	n := c.Size()
+	if n <= 1 {
+		return nil
+	}
+	empty := mpi.Sized(0)
+	if c.Rank() == 0 {
+		for r := 1; r < n; r++ {
+			if _, err := c.Recv(empty, r, tagGather); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < n; r++ {
+			if err := c.Send(empty, r, tagBcast); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Send(empty, 0, tagGather); err != nil {
+		return err
+	}
+	_, err := c.Recv(empty, 0, tagBcast)
+	return err
+}

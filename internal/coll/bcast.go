@@ -1,0 +1,215 @@
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Bcast broadcasts root's buffer to every rank, selecting the algorithm
+// by message size the way the profile's library would: binomial tree
+// for short messages, scatter+ring-allgather for medium, and a chained
+// pipeline for very large payloads.
+func Bcast(c *mpi.Comm, buf mpi.Buf, root int) error {
+	if err := checkBcastArgs(c, buf, root); err != nil {
+		return err
+	}
+	tun := c.Proc().Model().Tuning
+	switch {
+	case buf.Len() <= tun.BcastShortMax || c.Size() <= 2:
+		return BcastBinomial(c, buf, root)
+	case buf.Len() >= tun.BcastPipelineMin:
+		return BcastPipelined(c, buf, root, tun.BcastChunk)
+	default:
+		return BcastScatterAllgather(c, buf, root)
+	}
+}
+
+func checkBcastArgs(c *mpi.Comm, buf mpi.Buf, root int) error {
+	switch {
+	case c == nil:
+		return fmt.Errorf("coll: bcast on nil communicator")
+	case root < 0 || root >= c.Size():
+		return fmt.Errorf("coll: bcast root %d out of range (size %d)", root, c.Size())
+	}
+	return nil
+}
+
+// BcastBinomial is the classic binomial tree: log2(n) rounds, each
+// holder forwarding the whole message to one new rank per round.
+func BcastBinomial(c *mpi.Comm, buf mpi.Buf, root int) error {
+	if err := checkBcastArgs(c, buf, root); err != nil {
+		return err
+	}
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	rel := (c.Rank() - root + n) % n
+
+	// Receive once from the parent...
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent := (rel - mask + root) % n
+			if _, err := c.Recv(buf, parent, tagBcast); err != nil {
+				return fmt.Errorf("coll: bcast binomial recv: %w", err)
+			}
+			break
+		}
+		mask <<= 1
+	}
+	// ...then forward to children under decreasing masks.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			child := (rel + mask + root) % n
+			if err := c.Send(buf, child, tagBcast); err != nil {
+				return fmt.Errorf("coll: bcast binomial send: %w", err)
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// bcastPieces splits a message into n near-equal pieces laid out in
+// relative-rank order: relative rank i owns bytes
+// [i*per, min((i+1)*per, total)).
+func bcastPieces(total, n int) (per int, counts []int) {
+	per = (total + n - 1) / n
+	if per == 0 {
+		per = 1
+	}
+	counts = make([]int, n)
+	for i := range counts {
+		lo := i * per
+		hi := lo + per
+		if lo > total {
+			lo = total
+		}
+		if hi > total {
+			hi = total
+		}
+		counts[i] = hi - lo
+	}
+	return per, counts
+}
+
+// BcastScatterAllgather is the van de Geijn algorithm MPICH uses for
+// medium and large messages: binomial-scatter the payload over the
+// ranks, then ring-allgather the pieces back together. Bandwidth is
+// near-optimal at the price of O(n) latency in the allgather phase.
+func BcastScatterAllgather(c *mpi.Comm, buf mpi.Buf, root int) error {
+	if err := checkBcastArgs(c, buf, root); err != nil {
+		return err
+	}
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	total := buf.Len()
+	per, counts := bcastPieces(total, n)
+	rel := (c.Rank() - root + n) % n
+	absRank := func(r int) int { return (r + root) % n }
+
+	// Phase 1: binomial scatter. Every rank ends up holding its own
+	// relative piece; interior tree nodes transiently hold their
+	// subtree's range [rel*per, rel*per+curr).
+	curr := 0
+	if rel == 0 {
+		curr = total
+	}
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := absRank(rel - mask)
+			curr = total - rel*per
+			if curr < 0 {
+				curr = 0
+			}
+			if max := mask * per; curr > max {
+				curr = max
+			}
+			if curr > 0 {
+				if _, err := c.Recv(buf.Slice(rel*per, curr), src, tagBcast); err != nil {
+					return fmt.Errorf("coll: bcast scatter recv: %w", err)
+				}
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			sendSize := curr - mask*per
+			if sendSize > 0 {
+				dst := absRank(rel + mask)
+				off := (rel + mask) * per
+				if err := c.Send(buf.Slice(off, sendSize), dst, tagBcast); err != nil {
+					return fmt.Errorf("coll: bcast scatter send: %w", err)
+				}
+				curr -= sendSize
+			}
+		}
+		mask >>= 1
+	}
+
+	// Phase 2: ring allgather of the pieces in relative-rank space.
+	right := absRank(rel + 1)
+	left := absRank(rel - 1 + n)
+	for i := 0; i < n-1; i++ {
+		sendIdx := (rel - i + n) % n
+		recvIdx := (rel - i - 1 + n) % n
+		_, err := c.Sendrecv(
+			buf.Slice(sendIdx*per, counts[sendIdx]), right, tagBcast,
+			buf.Slice(recvIdx*per, counts[recvIdx]), left, tagBcast,
+		)
+		if err != nil {
+			return fmt.Errorf("coll: bcast allgather step %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// BcastPipelined is a chained pipeline for very large messages: the
+// message is cut into chunks that flow down the rank chain, so total
+// cost approaches (chunks + n) single-chunk hops instead of log2(n)
+// full-message hops. This is the large-message path the paper's
+// conclusion points at ([30]).
+func BcastPipelined(c *mpi.Comm, buf mpi.Buf, root, chunk int) error {
+	if err := checkBcastArgs(c, buf, root); err != nil {
+		return err
+	}
+	if chunk <= 0 {
+		chunk = 64 << 10
+	}
+	n := c.Size()
+	if n == 1 || buf.Len() == 0 {
+		return nil
+	}
+	rel := (c.Rank() - root + n) % n
+	prev := (c.Rank() - 1 + n) % n
+	next := (c.Rank() + 1) % n
+	isTail := rel == n-1
+
+	for off := 0; off < buf.Len(); off += chunk {
+		sz := chunk
+		if off+sz > buf.Len() {
+			sz = buf.Len() - off
+		}
+		piece := buf.Slice(off, sz)
+		if rel != 0 {
+			if _, err := c.Recv(piece, prev, tagBcast); err != nil {
+				return fmt.Errorf("coll: bcast pipeline recv: %w", err)
+			}
+		}
+		if !isTail {
+			if err := c.Send(piece, next, tagBcast); err != nil {
+				return fmt.Errorf("coll: bcast pipeline send: %w", err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Gather collects per-rank blocks of `per` bytes at root (rank order in
+// root's recv buffer), using a binomial tree.
+func Gather(c *mpi.Comm, send, recv mpi.Buf, per, root int) error {
+	return GatherBinomial(c, send, recv, per, root)
+}
+
+func checkRootArgs(c *mpi.Comm, root int) error {
+	if c == nil {
+		return fmt.Errorf("coll: nil communicator")
+	}
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("coll: root %d out of range (size %d)", root, c.Size())
+	}
+	return nil
+}
+
+// GatherLinear has every non-root rank send its block straight to root.
+// Real libraries use exactly this inside a node, where the "network" is
+// the shared-memory transport and trees buy nothing — it is the
+// aggregation phase of the paper's SMP-aware baseline (Fig. 3a).
+func GatherLinear(c *mpi.Comm, send, recv mpi.Buf, per, root int) error {
+	if err := checkRootArgs(c, root); err != nil {
+		return err
+	}
+	if c.Rank() != root {
+		return c.Send(send.Slice(0, per), root, tagGather)
+	}
+	if recv.Len() < per*c.Size() {
+		return fmt.Errorf("coll: gather recv buffer %dB < %d x %dB", recv.Len(), c.Size(), per)
+	}
+	p := c.Proc()
+	p.CopyLocal(recv.Slice(root*per, per), send.Slice(0, per), 1)
+	// Receive in deterministic rank order; arrivals overlap on the
+	// wire, the root serializes only its own unpacking.
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		if _, err := c.Recv(recv.Slice(r*per, per), r, tagGather); err != nil {
+			return fmt.Errorf("coll: gather linear from %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// GatherBinomial aggregates subtrees up a binomial tree: log2(n) rounds,
+// interior nodes forwarding their accumulated range. Blocks travel in
+// relative-rank order through a scratch buffer and are unrotated at the
+// root (charged), as in MPICH.
+func GatherBinomial(c *mpi.Comm, send, recv mpi.Buf, per, root int) error {
+	if err := checkRootArgs(c, root); err != nil {
+		return err
+	}
+	n := c.Size()
+	p := c.Proc()
+	if c.Rank() == root && recv.Len() < per*n {
+		return fmt.Errorf("coll: gather recv buffer %dB < %d x %dB", recv.Len(), n, per)
+	}
+	if n == 1 {
+		p.CopyLocal(recv.Slice(root*per, per), send.Slice(0, per), 1)
+		return nil
+	}
+	rel := (c.Rank() - root + n) % n
+
+	// tmp holds the relative range [rel, rel+have).
+	tmp := p.World().NewBuf(subtreeSpan(rel, n) * per)
+	p.CopyLocal(tmp.Slice(0, per), send.Slice(0, per), 1)
+	have := 1
+
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			// Send my accumulated range to the parent and stop.
+			parent := (rel - mask + root) % n
+			if err := c.Send(tmp.Slice(0, have*per), parent, tagGather); err != nil {
+				return fmt.Errorf("coll: gather binomial send: %w", err)
+			}
+			return nil
+		}
+		// Receive the child's range, if that child exists.
+		childRel := rel + mask
+		if childRel < n {
+			cnt := subtreeSpan(childRel, n)
+			if cnt > mask {
+				cnt = mask
+			}
+			child := (childRel + root) % n
+			if _, err := c.Recv(tmp.Slice(have*per, cnt*per), child, tagGather); err != nil {
+				return fmt.Errorf("coll: gather binomial recv: %w", err)
+			}
+			have += cnt
+		}
+		mask <<= 1
+	}
+
+	// Only the root reaches here; unrotate relative blocks into comm
+	// rank order.
+	for i := 0; i < n; i++ {
+		p.CopyLocal(recv.Slice(((i+root)%n)*per, per), tmp.Slice(i*per, per), 1)
+	}
+	return nil
+}
+
+// subtreeSpan returns the number of relative ranks in the binomial
+// subtree rooted at rel on an n-rank communicator.
+func subtreeSpan(rel, n int) int {
+	if rel == 0 {
+		return n
+	}
+	// The subtree of rel covers [rel, rel + lowbit(rel)) clipped to n.
+	span := rel & (-rel)
+	if rel+span > n {
+		span = n - rel
+	}
+	return span
+}
+
+// Gatherv collects variable-size blocks at root (counts in comm rank
+// order), linearly — the irregular gather real libraries run for modest
+// sizes.
+func Gatherv(c *mpi.Comm, send, recv mpi.Buf, counts []int, root int) error {
+	if err := checkRootArgs(c, root); err != nil {
+		return err
+	}
+	if len(counts) != c.Size() {
+		return fmt.Errorf("coll: gatherv got %d counts for %d ranks", len(counts), c.Size())
+	}
+	if c.Rank() != root {
+		return c.Send(send.Slice(0, counts[c.Rank()]), root, tagGather)
+	}
+	displs := Displs(counts)
+	if recv.Len() < Total(counts) {
+		return fmt.Errorf("coll: gatherv recv buffer %dB < %dB", recv.Len(), Total(counts))
+	}
+	p := c.Proc()
+	p.CopyLocal(recv.Slice(displs[root], counts[root]), send.Slice(0, counts[root]), 1)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		if _, err := c.Recv(recv.Slice(displs[r], counts[r]), r, tagGather); err != nil {
+			return fmt.Errorf("coll: gatherv from %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// Scatter distributes root's per-rank blocks with a binomial tree
+// (reverse of GatherBinomial): interior nodes receive their subtree's
+// range and forward the halves.
+func Scatter(c *mpi.Comm, send, recv mpi.Buf, per, root int) error {
+	if err := checkRootArgs(c, root); err != nil {
+		return err
+	}
+	n := c.Size()
+	p := c.Proc()
+	if c.Rank() == root && send.Len() < per*n {
+		return fmt.Errorf("coll: scatter send buffer %dB < %d x %dB", send.Len(), n, per)
+	}
+	if n == 1 {
+		p.CopyLocal(recv.Slice(0, per), send.Slice(root*per, per), 1)
+		return nil
+	}
+	rel := (c.Rank() - root + n) % n
+
+	tmp := p.World().NewBuf(subtreeSpan(rel, n) * per)
+	have := 0
+	if rel == 0 {
+		// Rotate into relative order once (charged), like MPICH's
+		// root-side pack.
+		for i := 0; i < n; i++ {
+			p.CopyLocal(tmp.Slice(i*per, per), send.Slice(((i+root)%n)*per, per), 1)
+		}
+		have = n
+	} else {
+		mask := 1
+		for mask < n {
+			if rel&mask != 0 {
+				parent := (rel - mask + root) % n
+				have = subtreeSpan(rel, n)
+				if _, err := c.Recv(tmp.Slice(0, have*per), parent, tagScatter); err != nil {
+					return fmt.Errorf("coll: scatter recv: %w", err)
+				}
+				break
+			}
+			mask <<= 1
+		}
+	}
+
+	// Forward the upper halves to children, largest first.
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			cnt := subtreeSpan(rel+mask, n)
+			if cnt > mask {
+				cnt = mask
+			}
+			if cnt > have-mask {
+				cnt = have - mask
+			}
+			if cnt > 0 {
+				child := (rel + mask + root) % n
+				if err := c.Send(tmp.Slice(mask*per, cnt*per), child, tagScatter); err != nil {
+					return fmt.Errorf("coll: scatter send: %w", err)
+				}
+				have = mask
+			}
+		}
+		mask >>= 1
+	}
+	p.CopyLocal(recv.Slice(0, per), tmp.Slice(0, per), 1)
+	return nil
+}

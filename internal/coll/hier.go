@@ -1,0 +1,243 @@
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Hier is the SMP-aware (hierarchical) collective machinery the paper
+// assumes for its pure-MPI baseline (Fig. 3a): a shared-memory
+// communicator per node plus a bridge communicator over the node
+// leaders [31, 34]. Every rank keeps a private copy of collective
+// results — that per-rank copy, and the intra-node aggregation /
+// broadcast phases that maintain it, are precisely what the hybrid
+// approach removes.
+type Hier struct {
+	comm   *mpi.Comm // the communicator the hierarchy was built over
+	node   *mpi.Comm // shared-memory communicator (Fig. 1a)
+	bridge *mpi.Comm // leaders only; nil on children (Fig. 2)
+
+	nodeBytesIdx []int // bridge rank -> number of comm ranks on that node
+	nodeBase     []int // bridge rank -> first comm rank of that node
+	myNodeIdx    int   // my node's bridge rank
+}
+
+// NewHier builds the two-level communicator structure. It requires
+// SMP-style placement (each node's comm ranks contiguous), which is the
+// paper's stated assumption (Sect. 4); construction is untimed setup.
+func NewHier(c *mpi.Comm) (*Hier, error) {
+	if c == nil {
+		return nil, fmt.Errorf("coll: NewHier on nil communicator")
+	}
+	node, err := c.SplitTypeShared()
+	if err != nil {
+		return nil, err
+	}
+	bridge, err := c.SplitBridge(node)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gather the per-node shapes (one-off setup metadata).
+	type nodeInfo struct{ base, size, nodeIdx int }
+	leaderBase := c.Rank() - node.Rank()
+	vals := c.Setup(nodeInfo{base: leaderBase, size: node.Size(), nodeIdx: c.Proc().Node()})
+
+	// Deduplicate per node, ordered by base rank (== bridge order,
+	// since leaders are the lowest ranks and Split orders by key).
+	var bases, sizes []int
+	seen := map[int]bool{}
+	myIdx := -1
+	for r := 0; r < len(vals); r++ {
+		in := vals[r].(nodeInfo)
+		if seen[in.base] {
+			continue
+		}
+		seen[in.base] = true
+		bases = append(bases, in.base)
+		sizes = append(sizes, in.size)
+	}
+	// Verify contiguity (SMP placement) and locate my node.
+	for i := range bases {
+		if i > 0 && bases[i] != bases[i-1]+sizes[i-1] {
+			return nil, fmt.Errorf("coll: NewHier needs SMP-style placement; node blocks not contiguous")
+		}
+		if bases[i] == leaderBase {
+			myIdx = i
+		}
+	}
+	if myIdx < 0 {
+		return nil, fmt.Errorf("coll: NewHier could not locate own node block")
+	}
+	return &Hier{
+		comm:         c,
+		node:         node,
+		bridge:       bridge,
+		nodeBytesIdx: sizes,
+		nodeBase:     bases,
+		myNodeIdx:    myIdx,
+	}, nil
+}
+
+// Node returns the shared-memory communicator.
+func (h *Hier) Node() *mpi.Comm { return h.node }
+
+// Bridge returns the leader communicator (nil on children).
+func (h *Hier) Bridge() *mpi.Comm { return h.bridge }
+
+// IsLeader reports whether this rank leads its node.
+func (h *Hier) IsLeader() bool { return h.node.Rank() == 0 }
+
+// Nodes returns the number of nodes under the hierarchy.
+func (h *Hier) Nodes() int { return len(h.nodeBase) }
+
+// NodeCounts returns the number of ranks per node in bridge order.
+func (h *Hier) NodeCounts() []int { return h.nodeBytesIdx }
+
+// Allgather is the paper's pure-MPI baseline allgather (Fig. 3a):
+//  1. aggregate the node's blocks at the leader (shared-memory
+//     transport),
+//  2. exchange aggregated node blocks between leaders
+//     (MPI_Allgather / MPI_Allgatherv on the bridge),
+//  3. broadcast the full result to every on-node child, giving each
+//     rank its own private copy.
+func (h *Hier) Allgather(send, recv mpi.Buf, per int) error {
+	if err := checkAllgatherArgs(h.comm, send, recv, per); err != nil {
+		return err
+	}
+	nodeOff := h.nodeBase[h.myNodeIdx] * per
+
+	// Phase 1: linear gather at the leader, directly into the node's
+	// slice of the final buffer.
+	nodeBytes := h.node.Size() * per
+	if err := GatherLinear(h.node, send.Slice(0, per), recv.Slice(nodeOff, nodeBytes), per, 0); err != nil {
+		return fmt.Errorf("coll: hier allgather gather phase: %w", err)
+	}
+
+	// Phase 2: leaders exchange node blocks. Uniform node sizes use
+	// the tuned MPI_Allgather path; irregular populations force the
+	// weaker MPI_Allgatherv ([29], Fig. 10).
+	if h.bridge != nil && h.bridge.Size() > 1 {
+		if uniform(h.nodeBytesIdx) {
+			blk := h.nodeBytesIdx[0] * per
+			if err := allgatherBridgeInPlace(h.bridge, recv, blk); err != nil {
+				return fmt.Errorf("coll: hier allgather bridge phase: %w", err)
+			}
+		} else {
+			counts := scale(h.nodeBytesIdx, per)
+			if err := AllgathervInPlace(h.bridge, recv, counts); err != nil {
+				return fmt.Errorf("coll: hier allgather bridge phase: %w", err)
+			}
+		}
+	}
+
+	// Phase 3: every child obtains its own full copy.
+	total := Total(h.nodeBytesIdx) * per
+	if err := BcastBinomial(h.node, recv.Slice(0, total), 0); err != nil {
+		return fmt.Errorf("coll: hier allgather bcast phase: %w", err)
+	}
+	return nil
+}
+
+// allgatherBridgeInPlace runs the tuned allgather with each leader's
+// node block already placed at its slot.
+func allgatherBridgeInPlace(bridge *mpi.Comm, recv mpi.Buf, blk int) error {
+	total := blk * bridge.Size()
+	tun := bridge.Proc().Model().Tuning
+	if total <= tun.AllgatherShortMax && isPow2(bridge.Size()) {
+		return allgatherRecDblInPlace(bridge, recv, blk)
+	}
+	return allgatherRingInPlace(bridge, recv, blk)
+}
+
+func allgatherRingInPlace(c *mpi.Comm, recv mpi.Buf, per int) error {
+	n := c.Size()
+	right := (c.Rank() + 1) % n
+	left := (c.Rank() - 1 + n) % n
+	for i := 0; i < n-1; i++ {
+		sendIdx := (c.Rank() - i + n) % n
+		recvIdx := (c.Rank() - i - 1 + n) % n
+		_, err := c.Sendrecv(
+			recv.Slice(sendIdx*per, per), right, tagAllgather,
+			recv.Slice(recvIdx*per, per), left, tagAllgather,
+		)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func allgatherRecDblInPlace(c *mpi.Comm, recv mpi.Buf, per int) error {
+	n := c.Size()
+	rank := c.Rank()
+	for mask := 1; mask < n; mask <<= 1 {
+		partner := rank ^ mask
+		haveBase := rank &^ (mask - 1)
+		getBase := partner &^ (mask - 1)
+		_, err := c.Sendrecv(
+			recv.Slice(haveBase*per, mask*per), partner, tagAllgather,
+			recv.Slice(getBase*per, mask*per), partner, tagAllgather,
+		)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast is the SMP-aware broadcast baseline: root hands the message to
+// its node leader, leaders broadcast over the bridge, and every leader
+// broadcasts inside its node — so every rank again holds a private
+// copy.
+func (h *Hier) Bcast(buf mpi.Buf, root int) error {
+	if err := checkBcastArgs(h.comm, buf, root); err != nil {
+		return err
+	}
+	rootNode := -1
+	for i := range h.nodeBase {
+		if root >= h.nodeBase[i] && root < h.nodeBase[i]+h.nodeBytesIdx[i] {
+			rootNode = i
+			break
+		}
+	}
+	if rootNode < 0 {
+		return fmt.Errorf("coll: hier bcast cannot place root %d", root)
+	}
+	rootLocal := root - h.nodeBase[rootNode]
+
+	// Hand-off to the leader when the root is a child.
+	if rootLocal != 0 {
+		if h.comm.Rank() == root {
+			if err := h.comm.Send(buf, h.nodeBase[rootNode], tagBcast); err != nil {
+				return err
+			}
+		}
+		if h.comm.Rank() == h.nodeBase[rootNode] {
+			if _, err := h.comm.Recv(buf, root, tagBcast); err != nil {
+				return err
+			}
+		}
+	}
+	// Leaders broadcast across nodes.
+	if h.bridge != nil && h.bridge.Size() > 1 {
+		if err := Bcast(h.bridge, buf, rootNode); err != nil {
+			return fmt.Errorf("coll: hier bcast bridge phase: %w", err)
+		}
+	}
+	// Leaders fan out on the node.
+	if err := Bcast(h.node, buf, 0); err != nil {
+		return fmt.Errorf("coll: hier bcast node phase: %w", err)
+	}
+	return nil
+}
+
+func uniform(v []int) bool {
+	for _, x := range v {
+		if x != v[0] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,253 @@
+package coll
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+func TestScanInclusive(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			const elems = 4
+			runWorld(t, sim.Laptop(), []int{n}, func(p *mpi.Proc) error {
+				c := p.CommWorld()
+				v := make([]float64, elems)
+				for i := range v {
+					v[i] = float64(p.Rank() + 1 + i)
+				}
+				recv := mpi.Bytes(make([]byte, 8*elems))
+				if err := Scan(c, mpi.FromFloat64s(v), recv, elems, mpi.Float64, mpi.OpSum); err != nil {
+					return err
+				}
+				for i := 0; i < elems; i++ {
+					want := 0.0
+					for r := 0; r <= p.Rank(); r++ {
+						want += float64(r + 1 + i)
+					}
+					if got := recv.Float64At(i); got != want {
+						t.Errorf("rank %d elem %d = %v, want %v", p.Rank(), i, got, want)
+						return nil
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestExscan(t *testing.T) {
+	for _, n := range []int{2, 4, 7} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			runWorld(t, sim.Laptop(), []int{n}, func(p *mpi.Proc) error {
+				c := p.CommWorld()
+				send := mpi.FromFloat64s([]float64{float64(p.Rank() + 1)})
+				recv := mpi.FromFloat64s([]float64{-99})
+				if err := Exscan(c, send, recv, 1, mpi.Float64, mpi.OpSum); err != nil {
+					return err
+				}
+				if p.Rank() == 0 {
+					// Undefined on rank 0: must be untouched.
+					if recv.Float64At(0) != -99 {
+						t.Errorf("rank 0 buffer touched: %v", recv.Float64At(0))
+					}
+					return nil
+				}
+				want := 0.0
+				for r := 0; r < p.Rank(); r++ {
+					want += float64(r + 1)
+				}
+				if got := recv.Float64At(0); got != want {
+					t.Errorf("rank %d = %v, want %v", p.Rank(), got, want)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestScanMaxOp(t *testing.T) {
+	runWorld(t, sim.Laptop(), []int{6}, func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		// Values zig-zag so the running max is interesting.
+		val := float64((p.Rank() * 7) % 5)
+		recv := mpi.Bytes(make([]byte, 8))
+		if err := Scan(c, mpi.FromFloat64s([]float64{val}), recv, 1, mpi.Float64, mpi.OpMax); err != nil {
+			return err
+		}
+		want := 0.0
+		for r := 0; r <= p.Rank(); r++ {
+			if v := float64((r * 7) % 5); v > want {
+				want = v
+			}
+		}
+		if got := recv.Float64At(0); got != want {
+			t.Errorf("rank %d max = %v, want %v", p.Rank(), got, want)
+		}
+		return nil
+	})
+}
+
+func TestReduceScatterBlock(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 6} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			const elems = 3
+			runWorld(t, sim.Laptop(), []int{n}, func(p *mpi.Proc) error {
+				c := p.CommWorld()
+				// Block b element i of rank r = r*100 + b*10 + i.
+				v := make([]float64, elems*n)
+				for b := 0; b < n; b++ {
+					for i := 0; i < elems; i++ {
+						v[b*elems+i] = float64(p.Rank()*100 + b*10 + i)
+					}
+				}
+				recv := mpi.Bytes(make([]byte, 8*elems))
+				if err := ReduceScatterBlock(c, mpi.FromFloat64s(v), recv, elems, mpi.Float64, mpi.OpSum); err != nil {
+					return err
+				}
+				for i := 0; i < elems; i++ {
+					want := 0.0
+					for r := 0; r < n; r++ {
+						want += float64(r*100 + p.Rank()*10 + i)
+					}
+					if got := recv.Float64At(i); got != want {
+						t.Errorf("rank %d elem %d = %v, want %v", p.Rank(), i, got, want)
+						return nil
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestReduceScatterValidation(t *testing.T) {
+	runWorld(t, sim.Laptop(), []int{2}, func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		if err := ReduceScatterBlock(c, mpi.Sized(8), mpi.Sized(8), 1, mpi.Float64, mpi.OpSum); err == nil {
+			t.Error("short send buffer accepted")
+		}
+		if err := ReduceScatterBlock(c, mpi.Sized(16), mpi.Sized(4), 1, mpi.Float64, mpi.OpSum); err == nil {
+			t.Error("short recv buffer accepted")
+		}
+		return nil
+	})
+}
+
+func TestAllgatherNeighbor(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 8, 10} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			const elems = 5
+			runWorld(t, sim.Laptop(), []int{n}, func(p *mpi.Proc) error {
+				c := p.CommWorld()
+				recv := mpi.Bytes(make([]byte, 8*elems*n))
+				if err := AllgatherNeighbor(c, fill(p.Rank(), elems), recv, 8*elems); err != nil {
+					return err
+				}
+				checkGathered(t, "neighbor", recv, n, elems)
+				return nil
+			})
+		})
+	}
+}
+
+func TestAllgatherNeighborRejectsOdd(t *testing.T) {
+	runWorld(t, sim.Laptop(), []int{3}, func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		if err := AllgatherNeighbor(c, fill(p.Rank(), 1), mpi.Sized(24), 8); err == nil {
+			t.Error("odd size accepted")
+		}
+		return nil
+	})
+}
+
+func TestMultiLeaderAllgather(t *testing.T) {
+	for _, tc := range []struct {
+		shape   []int
+		leaders int
+	}{
+		{[]int{4, 4}, 1},
+		{[]int{4, 4}, 2},
+		{[]int{6, 6}, 3},
+		{[]int{6, 6, 6}, 2},
+		{[]int{8}, 4},
+		{[]int{4, 4}, 99}, // clamped to node size
+	} {
+		t.Run(fmt.Sprintf("%v/L%d", tc.shape, tc.leaders), func(t *testing.T) {
+			n := 0
+			for _, s := range tc.shape {
+				n += s
+			}
+			const elems = 7
+			runWorld(t, sim.Laptop(), tc.shape, func(p *mpi.Proc) error {
+				m, err := NewMultiLeaderHier(p.CommWorld(), tc.leaders)
+				if err != nil {
+					return err
+				}
+				recv := mpi.Bytes(make([]byte, 8*elems*n))
+				if err := m.Allgather(fill(p.Rank(), elems), recv, 8*elems); err != nil {
+					return err
+				}
+				checkGathered(t, "multileader", recv, n, elems)
+				return nil
+			})
+		})
+	}
+}
+
+func TestMultiLeaderRejects(t *testing.T) {
+	// Irregular node population is rejected.
+	runWorld(t, sim.Laptop(), []int{4, 2}, func(p *mpi.Proc) error {
+		if _, err := NewMultiLeaderHier(p.CommWorld(), 2); err == nil {
+			t.Error("irregular population accepted")
+		}
+		return nil
+	})
+	runWorld(t, sim.Laptop(), []int{4}, func(p *mpi.Proc) error {
+		if _, err := NewMultiLeaderHier(p.CommWorld(), 0); err == nil {
+			t.Error("zero leaders accepted")
+		}
+		return nil
+	})
+}
+
+func TestGroupBoundsPartition(t *testing.T) {
+	for _, tc := range []struct{ size, groups int }{{24, 4}, {7, 3}, {6, 6}, {10, 4}} {
+		covered := 0
+		for g := 0; g < tc.groups; g++ {
+			lo, hi := groupBounds(tc.size, tc.groups, g)
+			covered += hi - lo
+			for l := lo; l < hi; l++ {
+				if groupOf(l, tc.size, tc.groups) != g {
+					t.Errorf("groupOf(%d, %d, %d) != %d", l, tc.size, tc.groups, g)
+				}
+			}
+		}
+		if covered != tc.size {
+			t.Errorf("groups of %d/%d cover %d", tc.size, tc.groups, covered)
+		}
+	}
+}
+
+func TestMultiLeaderFasterThanSingleForBigNodes(t *testing.T) {
+	// The [14] claim: extra leaders reduce the serialization at one
+	// leader for large aggregate payloads.
+	shape := []int{24, 24, 24, 24}
+	per := 8 * 2048
+	lat := func(leaders int) sim.Time {
+		return latencyOf(t, sim.HazelHenCray(), shape, func(p *mpi.Proc) error {
+			m, err := NewMultiLeaderHier(p.CommWorld(), leaders)
+			if err != nil {
+				return err
+			}
+			return m.Allgather(mpi.Sized(per), mpi.Sized(per*p.Size()), per)
+		})
+	}
+	one := lat(1)
+	four := lat(4)
+	if four >= one {
+		t.Errorf("4 leaders (%v) should beat 1 leader (%v) on 24-rank nodes", four, one)
+	}
+}

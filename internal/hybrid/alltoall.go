@@ -1,0 +1,184 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+const tagHyAlltoall = 1<<25 + 40
+
+// Alltoaller extends the paper's single-copy-per-node principle to the
+// complete exchange (MPI_Alltoall — called out in the paper's
+// conclusion as "not a scalable communication pattern" and the natural
+// next target). Both the send and the receive matrices live in one
+// shared window per node:
+//
+//   - every rank writes its send row (one block per destination) into
+//     the node's shared send segment;
+//   - on-node blocks move by direct shared-memory copies, done in
+//     parallel by their *receivers*;
+//   - node leaders exchange packed inter-node submatrices pairwise;
+//   - children read their received row from the shared recv segment.
+type Alltoaller struct {
+	ctx  *Ctx
+	per  int // bytes per (src, dst) block
+	size int // comm size
+
+	sendWin *mpi.Win
+	recvWin *mpi.Win
+	send    mpi.Buf // node send matrix: nodeSize x size x per
+	recv    mpi.Buf // node recv matrix: nodeSize x size x per
+	staging mpi.Buf // leader pack/unpack buffer
+}
+
+// NewAlltoaller prepares the shared segments (one-off).
+func (c *Ctx) NewAlltoaller(per int) (*Alltoaller, error) {
+	if per < 0 {
+		return nil, fmt.Errorf("hybrid: negative block size %d", per)
+	}
+	size := c.comm.Size()
+	rowBytes := size * per
+	mySize := 0
+	if c.IsLeader() {
+		mySize = c.node.Size() * rowBytes
+	}
+	sendWin, err := mpi.WinAllocateShared(c.node, mySize)
+	if err != nil {
+		return nil, err
+	}
+	recvWin, err := mpi.WinAllocateShared(c.node, mySize)
+	if err != nil {
+		return nil, err
+	}
+	a := &Alltoaller{
+		ctx:     c,
+		per:     per,
+		size:    size,
+		sendWin: sendWin,
+		recvWin: recvWin,
+		send:    sendWin.Query(0).Slice(0, c.node.Size()*rowBytes),
+		recv:    recvWin.Query(0).Slice(0, c.node.Size()*rowBytes),
+	}
+	if c.IsLeader() {
+		// Staging for the largest inter-node submatrix.
+		maxPPN := 0
+		for _, s := range c.nodeSizes {
+			if s > maxPPN {
+				maxPPN = s
+			}
+		}
+		a.staging = c.comm.Proc().World().NewBuf(c.node.Size() * maxPPN * per)
+	}
+	return a, nil
+}
+
+// MineSend returns this rank's send row: one `per`-byte block for every
+// destination comm rank, in slot order (rank order under SMP
+// placement). Write it before calling Alltoall.
+func (a *Alltoaller) MineSend() mpi.Buf {
+	row := a.size * a.per
+	return a.send.Slice(a.ctx.node.Rank()*row, row)
+}
+
+// MineRecv returns this rank's receive row: the block from every source
+// comm rank, in slot order (valid after Alltoall).
+func (a *Alltoaller) MineRecv() mpi.Buf {
+	row := a.size * a.per
+	return a.recv.Slice(a.ctx.node.Rank()*row, row)
+}
+
+// sendBlock returns the block source local rank j addressed to slot s.
+func (a *Alltoaller) sendBlock(localSrc, slot int) mpi.Buf {
+	return a.send.Slice(localSrc*a.size*a.per+slot*a.per, a.per)
+}
+
+// recvBlock returns receive-row block of local rank j from slot s.
+func (a *Alltoaller) recvBlock(localDst, slot int) mpi.Buf {
+	return a.recv.Slice(localDst*a.size*a.per+slot*a.per, a.per)
+}
+
+// Alltoall runs the timed exchange.
+func (a *Alltoaller) Alltoall() error {
+	c := a.ctx
+	p := c.comm.Proc()
+	if err := c.Arrive(); err != nil {
+		return fmt.Errorf("hybrid: alltoall arrive: %w", err)
+	}
+
+	// Intra-node blocks: every rank pulls its own column from the
+	// node's send matrix — ppn parallel copiers.
+	myFirst := c.nodeFirst[c.myNodeIdx]
+	mySlot := c.SlotOf(c.comm.Rank())
+	ppn := c.node.Size()
+	for j := 0; j < ppn; j++ {
+		src := a.sendBlock(j, mySlot)
+		dst := a.recvBlock(c.node.Rank(), myFirst+j)
+		mpi.CopyData(dst, src)
+	}
+	p.Elapse(p.Model().CopyCost(ppn*a.per, ppn))
+
+	// Inter-node blocks: leaders exchange packed submatrices
+	// pairwise over the bridge.
+	if c.bridge != nil && c.bridge.Size() > 1 {
+		if err := a.bridgeExchange(); err != nil {
+			return err
+		}
+	}
+
+	if err := c.Release(); err != nil {
+		return fmt.Errorf("hybrid: alltoall release: %w", err)
+	}
+	return nil
+}
+
+// bridgeExchange runs the leader-level pairwise exchange: for each
+// step, pack my node's blocks addressed to the partner node, exchange,
+// and scatter the received submatrix into the recv segment.
+func (a *Alltoaller) bridgeExchange() error {
+	c := a.ctx
+	p := c.comm.Proc()
+	b := c.bridge
+	n := b.Size()
+	me := b.Rank()
+	myPPN := c.nodeSizes[me]
+
+	for step := 1; step < n; step++ {
+		dst := (me + step) % n
+		src := (me - step + n) % n
+		dstFirst, dstPPN := c.nodeFirst[dst], c.nodeSizes[dst]
+		srcFirst, srcPPN := c.nodeFirst[src], c.nodeSizes[src]
+
+		// Pack: rows = my node's local ranks, cols = partner's
+		// slots.
+		packBytes := myPPN * dstPPN * a.per
+		for j := 0; j < myPPN; j++ {
+			for t := 0; t < dstPPN; t++ {
+				blk := a.sendBlock(j, dstFirst+t)
+				off := (j*dstPPN + t) * a.per
+				mpi.CopyData(a.staging.Slice(off, a.per), blk)
+			}
+		}
+		p.Elapse(p.Model().CopyCost(packBytes, 1))
+
+		recvBytes := srcPPN * myPPN * a.per
+		recvStage := p.World().NewBuf(recvBytes)
+		if _, err := b.Sendrecv(
+			a.staging.Slice(0, packBytes), dst, tagHyAlltoall,
+			recvStage, src, tagHyAlltoall,
+		); err != nil {
+			return fmt.Errorf("hybrid: alltoall bridge step %d: %w", step, err)
+		}
+
+		// Unpack: the partner packed [its local ranks][my slots];
+		// scatter into my node's recv rows.
+		for j := 0; j < srcPPN; j++ {
+			for t := 0; t < myPPN; t++ {
+				off := (j*myPPN + t) * a.per
+				mpi.CopyData(a.recvBlock(t, srcFirst+j), recvStage.Slice(off, a.per))
+			}
+		}
+		p.Elapse(p.Model().CopyCost(recvBytes, 1))
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+// Package hybrid implements the paper's contribution: MPI collective
+// operations for the hybrid MPI+MPI programming model. Each node keeps
+// exactly one copy of replicated data in an MPI-3 shared-memory window;
+// only the per-node leader takes part in the inter-node exchange over
+// the bridge communicator; the other on-node ranks ("children") access
+// the shared segment directly and synchronize with the leader around the
+// exchange (Figs. 4 and 6 of the paper).
+package hybrid
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+// SyncMode selects how on-node ranks synchronize around the bridge
+// exchange (paper Sect. 6 "Explicit synchronization").
+type SyncMode int
+
+const (
+	// SyncBarrier is the paper's scheme: an MPI barrier over the
+	// shared-memory communicator before and after the exchange.
+	SyncBarrier SyncMode = iota
+	// SyncP2P replaces each barrier with pairwise zero-byte flag
+	// messages between children and the leader (the "light-weight
+	// means").
+	SyncP2P
+	// SyncSharedFlags signals through per-rank epoch counters stored
+	// in the shared segment itself ([8]); the cheapest flavor.
+	SyncSharedFlags
+)
+
+// String names the sync mode.
+func (s SyncMode) String() string {
+	switch s {
+	case SyncBarrier:
+		return "barrier"
+	case SyncP2P:
+		return "p2p"
+	case SyncSharedFlags:
+		return "sharedflags"
+	default:
+		return fmt.Sprintf("SyncMode(%d)", int(s))
+	}
+}
+
+// Ctx is one rank's handle on the hybrid MPI+MPI context built over a
+// communicator: the shared-memory and bridge communicators plus the
+// node-sorted global rank array that supports rank placements other
+// than SMP-style (paper Sect. 6 "Rank placement").
+type Ctx struct {
+	comm   *mpi.Comm
+	node   *mpi.Comm
+	bridge *mpi.Comm // nil on children
+
+	sync SyncMode
+
+	// Node-sorted rank array: slot s holds the comm rank stored at
+	// position s of every node-gathered buffer. Nodes appear in
+	// bridge order; ranks within a node in node-comm order. Under
+	// SMP placement slotToRank is the identity.
+	slotToRank []int
+	rankToSlot []int
+	nodeSizes  []int // bridge order
+	nodeFirst  []int // first slot of each node
+	myNodeIdx  int
+	smp        bool
+}
+
+// Option configures a Ctx.
+type Option func(*Ctx)
+
+// WithSync selects the synchronization flavor (default SyncBarrier, as
+// in the paper).
+func WithSync(m SyncMode) Option { return func(c *Ctx) { c.sync = m } }
+
+// New builds the hybrid context over a communicator: the two-level
+// communicator split of Fig. 4 lines 2-10 plus the node-sorted rank
+// array. Construction is untimed one-off setup.
+func New(comm *mpi.Comm, opts ...Option) (*Ctx, error) {
+	if comm == nil {
+		return nil, fmt.Errorf("hybrid: New on nil communicator")
+	}
+	node, err := comm.SplitTypeShared()
+	if err != nil {
+		return nil, err
+	}
+	bridge, err := comm.SplitBridge(node)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &Ctx{comm: comm, node: node, bridge: bridge}
+	for _, o := range opts {
+		o(ctx)
+	}
+
+	// Build the node-sorted global rank array: every rank announces
+	// (its comm rank, its node group identified by the leader's comm
+	// rank, its on-node rank).
+	leaderComm := comm.Size() // computed below; placeholder
+	_ = leaderComm
+	type entry struct{ commRank, leaderCommRank, nodeRank int }
+	// Each member learns its leader's comm rank through the node
+	// communicator first.
+	leaderVals := node.Setup(comm.Rank())
+	myLeaderCommRank := leaderVals[0].(int)
+	vals := comm.Setup(entry{commRank: comm.Rank(), leaderCommRank: myLeaderCommRank, nodeRank: node.Rank()})
+
+	entries := make([]entry, len(vals))
+	for i, v := range vals {
+		entries[i] = v.(entry)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].leaderCommRank != entries[j].leaderCommRank {
+			return entries[i].leaderCommRank < entries[j].leaderCommRank
+		}
+		return entries[i].nodeRank < entries[j].nodeRank
+	})
+
+	ctx.slotToRank = make([]int, len(entries))
+	ctx.rankToSlot = make([]int, len(entries))
+	ctx.smp = true
+	lastLeader := -1
+	for s, e := range entries {
+		ctx.slotToRank[s] = e.commRank
+		ctx.rankToSlot[e.commRank] = s
+		if e.commRank != s {
+			ctx.smp = false
+		}
+		if e.leaderCommRank != lastLeader {
+			ctx.nodeFirst = append(ctx.nodeFirst, s)
+			ctx.nodeSizes = append(ctx.nodeSizes, 0)
+			lastLeader = e.leaderCommRank
+			if e.leaderCommRank == myLeaderCommRank {
+				ctx.myNodeIdx = len(ctx.nodeSizes) - 1
+			}
+		}
+		ctx.nodeSizes[len(ctx.nodeSizes)-1]++
+	}
+	return ctx, nil
+}
+
+// Comm returns the communicator the context was built over.
+func (c *Ctx) Comm() *mpi.Comm { return c.comm }
+
+// Node returns the shared-memory communicator.
+func (c *Ctx) Node() *mpi.Comm { return c.node }
+
+// Bridge returns the leader communicator (nil on children).
+func (c *Ctx) Bridge() *mpi.Comm { return c.bridge }
+
+// IsLeader reports whether this rank is its node's leader.
+func (c *Ctx) IsLeader() bool { return c.node.Rank() == 0 }
+
+// Nodes returns the number of nodes.
+func (c *Ctx) Nodes() int { return len(c.nodeSizes) }
+
+// NodeSizes returns ranks per node in bridge order.
+func (c *Ctx) NodeSizes() []int { return c.nodeSizes }
+
+// SlotOf maps a comm rank to its slot in node-gathered buffers. Under
+// SMP-style placement this is the identity; for other placements it
+// realizes the node-sorted global rank array of Sect. 6.
+func (c *Ctx) SlotOf(rank int) int { return c.rankToSlot[rank] }
+
+// RankAt is the inverse of SlotOf.
+func (c *Ctx) RankAt(slot int) int { return c.slotToRank[slot] }
+
+// SMPPlacement reports whether comm ranks are laid out SMP-style (node
+// blocks contiguous in rank order).
+func (c *Ctx) SMPPlacement() bool { return c.smp }
+
+// Sync returns the configured synchronization flavor.
+func (c *Ctx) Sync() SyncMode { return c.sync }
+
+// MyNodeIdx returns this rank's node position in bridge order.
+func (c *Ctx) MyNodeIdx() int { return c.myNodeIdx }

@@ -1,0 +1,592 @@
+package hybrid
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/coll"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+func runWorld(t *testing.T, nodeSizes []int, body func(p *mpi.Proc) error) *mpi.World {
+	t.Helper()
+	topo, err := sim.NewTopology(nodeSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(sim.Laptop(), topo, mpi.WithRealData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestCtxStructure(t *testing.T) {
+	runWorld(t, []int{3, 2}, func(p *mpi.Proc) error {
+		ctx, err := New(p.CommWorld())
+		if err != nil {
+			return err
+		}
+		if ctx.Nodes() != 2 {
+			t.Errorf("nodes = %d", ctx.Nodes())
+		}
+		if !ctx.SMPPlacement() {
+			t.Error("world comm should be SMP placement")
+		}
+		wantLeader := p.Rank() == 0 || p.Rank() == 3
+		if ctx.IsLeader() != wantLeader {
+			t.Errorf("rank %d IsLeader = %v", p.Rank(), ctx.IsLeader())
+		}
+		if wantLeader && ctx.Bridge() == nil {
+			t.Error("leader missing bridge")
+		}
+		if !wantLeader && ctx.Bridge() != nil {
+			t.Error("child has bridge")
+		}
+		for r := 0; r < 5; r++ {
+			if ctx.SlotOf(r) != r || ctx.RankAt(r) != r {
+				t.Errorf("SMP slot mapping not identity at %d", r)
+			}
+		}
+		if got := ctx.NodeSizes(); got[0] != 3 || got[1] != 2 {
+			t.Errorf("node sizes = %v", got)
+		}
+		if ctx.Comm() == nil || ctx.Node() == nil {
+			t.Error("accessors returned nil")
+		}
+		return nil
+	})
+}
+
+func TestSyncModeString(t *testing.T) {
+	if SyncBarrier.String() != "barrier" || SyncP2P.String() != "p2p" || SyncSharedFlags.String() != "sharedflags" {
+		t.Error("sync mode names wrong")
+	}
+	if SyncMode(9).String() == "" {
+		t.Error("unknown sync mode empty")
+	}
+}
+
+func checkAllgatherResult(t *testing.T, a *Allgatherer, p *mpi.Proc, size, elems int) {
+	t.Helper()
+	for r := 0; r < size; r++ {
+		blk := a.Block(r)
+		for i := 0; i < elems; i += 1 + elems/3 {
+			want := float64(r*1_000_000 + i)
+			if got := blk.Float64At(i); got != want {
+				t.Errorf("rank %d sees block %d elem %d = %v, want %v", p.Rank(), r, i, got, want)
+				return
+			}
+		}
+	}
+}
+
+func TestHyAllgatherAllSyncModes(t *testing.T) {
+	for _, mode := range []SyncMode{SyncBarrier, SyncP2P, SyncSharedFlags} {
+		for _, shape := range [][]int{{4}, {2, 2}, {3, 3, 3}, {4, 4, 2}} {
+			t.Run(fmt.Sprintf("%v/%v", mode, shape), func(t *testing.T) {
+				n := 0
+				for _, s := range shape {
+					n += s
+				}
+				const elems = 13
+				runWorld(t, shape, func(p *mpi.Proc) error {
+					ctx, err := New(p.CommWorld(), WithSync(mode))
+					if err != nil {
+						return err
+					}
+					a, err := ctx.NewAllgatherer(8 * elems)
+					if err != nil {
+						return err
+					}
+					// Fig. 4 line 22: initialize my partition
+					// directly in the shared buffer.
+					mine := a.Mine()
+					for i := 0; i < elems; i++ {
+						mine.PutFloat64(i, float64(p.Rank()*1_000_000+i))
+					}
+					if err := a.Allgather(); err != nil {
+						return err
+					}
+					checkAllgatherResult(t, a, p, n, elems)
+					return nil
+				})
+			})
+		}
+	}
+}
+
+func TestHyAllgatherRepeatedCalls(t *testing.T) {
+	// The window is allocated once and the operation repeats — the
+	// amortization story of Sect. 4.1.
+	runWorld(t, []int{2, 2}, func(p *mpi.Proc) error {
+		ctx, err := New(p.CommWorld())
+		if err != nil {
+			return err
+		}
+		a, err := ctx.NewAllgatherer(8)
+		if err != nil {
+			return err
+		}
+		for iter := 0; iter < 5; iter++ {
+			a.Mine().PutFloat64(0, float64(100*iter+p.Rank()))
+			if err := a.Allgather(); err != nil {
+				return err
+			}
+			var bad string
+			for r := 0; r < 4; r++ {
+				if got := a.Block(r).Float64At(0); got != float64(100*iter+r) {
+					bad = fmt.Sprintf("iter %d block %d = %v", iter, r, got)
+					break
+				}
+			}
+			// Finish reading before the next iteration's write —
+			// the epoch discipline iterative callers must follow.
+			if err := a.ReadFence(); err != nil {
+				return err
+			}
+			if bad != "" {
+				return fmt.Errorf("stale read: %s", bad)
+			}
+		}
+		return nil
+	})
+}
+
+func TestHyAllgathererV(t *testing.T) {
+	// Irregular per-rank contributions, including zero.
+	counts := []int{24, 0, 8, 16, 8}
+	runWorld(t, []int{3, 2}, func(p *mpi.Proc) error {
+		ctx, err := New(p.CommWorld())
+		if err != nil {
+			return err
+		}
+		a, err := ctx.NewAllgathererV(counts)
+		if err != nil {
+			return err
+		}
+		mine := a.Mine()
+		if mine.Len() != counts[p.Rank()] {
+			t.Errorf("rank %d Mine() length %d, want %d", p.Rank(), mine.Len(), counts[p.Rank()])
+		}
+		for i := 0; i < counts[p.Rank()]/8; i++ {
+			mine.PutFloat64(i, float64(p.Rank()*10+i))
+		}
+		if err := a.Allgather(); err != nil {
+			return err
+		}
+		for r := 0; r < 5; r++ {
+			blk := a.Block(r)
+			for i := 0; i < counts[r]/8; i++ {
+				if got := blk.Float64At(i); got != float64(r*10+i) {
+					t.Errorf("block %d elem %d = %v", r, i, got)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestHyAllgatherNonSMPPlacement(t *testing.T) {
+	// Round-robin placement: comm rank order alternates nodes, so the
+	// node-sorted rank array must kick in (paper Sect. 6).
+	runWorld(t, []int{2, 2}, func(p *mpi.Proc) error {
+		// world ranks 0,1 on node 0; 2,3 on node 1.
+		// Build a comm ordered 0,2,1,3 (round-robin across nodes).
+		key := map[int]int{0: 0, 2: 1, 1: 2, 3: 3}[p.Rank()]
+		rr, err := p.CommWorld().Split(0, key)
+		if err != nil {
+			return err
+		}
+		ctx, err := New(rr)
+		if err != nil {
+			return err
+		}
+		if ctx.SMPPlacement() {
+			t.Error("round-robin comm misdetected as SMP")
+		}
+		a, err := ctx.NewAllgatherer(8)
+		if err != nil {
+			return err
+		}
+		a.Mine().PutFloat64(0, float64(1000+rr.Rank()))
+		if err := a.Allgather(); err != nil {
+			return err
+		}
+		for r := 0; r < 4; r++ {
+			if got := a.Block(r).Float64At(0); got != float64(1000+r) {
+				t.Errorf("comm rank %d block %d = %v", rr.Rank(), r, got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestHyAllgatherPipelined(t *testing.T) {
+	// Chunked bridge exchange must stay correct...
+	const elems = 512
+	runWorld(t, []int{2, 2, 2}, func(p *mpi.Proc) error {
+		ctx, err := New(p.CommWorld())
+		if err != nil {
+			return err
+		}
+		a, err := ctx.NewAllgatherer(8*elems, WithPipelineChunk(1024))
+		if err != nil {
+			return err
+		}
+		mine := a.Mine()
+		for i := 0; i < elems; i++ {
+			mine.PutFloat64(i, float64(p.Rank()*1_000_000+i))
+		}
+		if err := a.Allgather(); err != nil {
+			return err
+		}
+		checkAllgatherResult(t, a, p, 6, elems)
+		return nil
+	})
+}
+
+func TestHyAllgatherPipelineOverheadBounded(t *testing.T) {
+	// A ring exchange is already fully pipelined at block
+	// granularity, so chunking cannot beat it under a LogGP model —
+	// it can only add per-chunk latency. This ablation (recorded in
+	// EXPERIMENTS.md) locks in that the overhead stays small, which
+	// is what makes the chunked path an acceptable default for
+	// memory-bounded staging even where it cannot win time.
+	latency := func(chunk int) sim.Time {
+		topo, _ := sim.NewTopology([]int{4, 4, 4, 4, 4, 4, 4, 4})
+		w, err := mpi.NewWorld(sim.HazelHenCray(), topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(p *mpi.Proc) error {
+			ctx, err := New(p.CommWorld())
+			if err != nil {
+				return err
+			}
+			var opts []AllgatherOption
+			if chunk > 0 {
+				opts = append(opts, WithPipelineChunk(chunk))
+			}
+			a, err := ctx.NewAllgatherer(512<<10, opts...)
+			if err != nil {
+				return err
+			}
+			return a.Allgather()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxClock()
+	}
+	plain := latency(0)
+	piped := latency(128 << 10)
+	if piped < plain {
+		t.Logf("pipelined exchange unexpectedly faster: %v vs %v", piped, plain)
+	}
+	if piped > plain+plain/4 {
+		t.Errorf("pipelined exchange overhead too high: %v vs plain %v", piped, plain)
+	}
+}
+
+func TestHyBcast(t *testing.T) {
+	for _, mode := range []SyncMode{SyncBarrier, SyncP2P, SyncSharedFlags} {
+		for _, root := range []int{0, 1, 4} {
+			t.Run(fmt.Sprintf("%v/root%d", mode, root), func(t *testing.T) {
+				const elems = 21
+				runWorld(t, []int{3, 3}, func(p *mpi.Proc) error {
+					ctx, err := New(p.CommWorld(), WithSync(mode))
+					if err != nil {
+						return err
+					}
+					b, err := ctx.NewBcaster(8 * elems)
+					if err != nil {
+						return err
+					}
+					if p.Rank() == root {
+						buf := b.Buffer()
+						for i := 0; i < elems; i++ {
+							buf.PutFloat64(i, float64(root*1_000_000+i))
+						}
+					}
+					if err := b.Bcast(root); err != nil {
+						return err
+					}
+					for i := 0; i < elems; i++ {
+						want := float64(root*1_000_000 + i)
+						if got := b.Buffer().Float64At(i); got != want {
+							t.Errorf("rank %d elem %d = %v, want %v", p.Rank(), i, got, want)
+							return nil
+						}
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+func TestHyBcastSingleNode(t *testing.T) {
+	runWorld(t, []int{4}, func(p *mpi.Proc) error {
+		ctx, err := New(p.CommWorld())
+		if err != nil {
+			return err
+		}
+		b, err := ctx.NewBcaster(8)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			b.Buffer().PutFloat64(0, 77)
+		}
+		if err := b.Bcast(0); err != nil {
+			return err
+		}
+		if got := b.Buffer().Float64At(0); got != 77 {
+			t.Errorf("rank %d got %v", p.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestHyAllreduce(t *testing.T) {
+	for _, shape := range [][]int{{4}, {3, 3}, {2, 2, 2}} {
+		t.Run(fmt.Sprint(shape), func(t *testing.T) {
+			n := 0
+			for _, s := range shape {
+				n += s
+			}
+			const elems = 6
+			runWorld(t, shape, func(p *mpi.Proc) error {
+				ctx, err := New(p.CommWorld())
+				if err != nil {
+					return err
+				}
+				a, err := ctx.NewAllreducer(elems, mpi.Float64)
+				if err != nil {
+					return err
+				}
+				mine := a.Mine()
+				for i := 0; i < elems; i++ {
+					mine.PutFloat64(i, float64(p.Rank()+i))
+				}
+				if err := a.Allreduce(mpi.OpSum); err != nil {
+					return err
+				}
+				for i := 0; i < elems; i++ {
+					want := float64(n*i + n*(n-1)/2)
+					if got := a.Result().Float64At(i); got != want {
+						t.Errorf("rank %d elem %d = %v, want %v", p.Rank(), i, got, want)
+						return nil
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestValidation(t *testing.T) {
+	runWorld(t, []int{2}, func(p *mpi.Proc) error {
+		if _, err := New(nil); err == nil {
+			t.Error("nil comm accepted")
+		}
+		ctx, err := New(p.CommWorld())
+		if err != nil {
+			return err
+		}
+		if _, err := ctx.NewAllgatherer(-1); err == nil {
+			t.Error("negative size accepted")
+		}
+		if _, err := ctx.NewAllgathererV([]int{8}); err == nil {
+			t.Error("short count vector accepted")
+		}
+		if _, err := ctx.NewAllgathererV([]int{8, -8}); err == nil {
+			t.Error("negative count accepted")
+		}
+		if _, err := ctx.NewBcaster(-1); err == nil {
+			t.Error("negative bcast size accepted")
+		}
+		if _, err := ctx.NewAllreducer(-1, mpi.Float64); err == nil {
+			t.Error("negative allreduce count accepted")
+		}
+		b, err := ctx.NewBcaster(8)
+		if err != nil {
+			return err
+		}
+		if err := b.Bcast(99); err == nil {
+			t.Error("bad bcast root accepted")
+		}
+		return nil
+	})
+}
+
+// Timing-shape assertions for the core claims.
+
+func hyVsPureLatency(t *testing.T, model *sim.CostModel, shape []int, elems int) (hy, pure sim.Time) {
+	t.Helper()
+	topo, err := sim.NewTopology(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := 8 * elems
+	n := topo.Size()
+
+	w, err := mpi.NewWorld(model, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(p *mpi.Proc) error {
+		ctx, err := New(p.CommWorld())
+		if err != nil {
+			return err
+		}
+		a, err := ctx.NewAllgatherer(per)
+		if err != nil {
+			return err
+		}
+		return a.Allgather()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hy = w.MaxClock()
+
+	w2, err := mpi.NewWorld(model, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Run(func(p *mpi.Proc) error {
+		h, err := coll.NewHier(p.CommWorld())
+		if err != nil {
+			return err
+		}
+		return h.Allgather(mpi.Sized(per), mpi.Sized(per*n), per)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pure = w2.MaxClock()
+	return hy, pure
+}
+
+func TestSingleNodeHybridFlatAndFaster(t *testing.T) {
+	// Fig. 7's two claims: hybrid cost is ~constant in message size
+	// (one barrier) and always below the pure-MPI allgather.
+	model := sim.HazelHenCray()
+	hySmall, pureSmall := hyVsPureLatency(t, model, []int{24}, 1)
+	hyBig, pureBig := hyVsPureLatency(t, model, []int{24}, 32768)
+	if hySmall >= pureSmall || hyBig >= pureBig {
+		t.Errorf("hybrid should win on one node: small %v vs %v, big %v vs %v",
+			hySmall, pureSmall, hyBig, pureBig)
+	}
+	// "Almost constant": allow only tiny drift across a 32768x size
+	// range.
+	if hyBig > hySmall*2 {
+		t.Errorf("hybrid single-node latency not flat: %v -> %v", hySmall, hyBig)
+	}
+	if pureBig < pureSmall*10 {
+		t.Errorf("pure MPI single-node latency should grow strongly: %v -> %v", pureSmall, pureBig)
+	}
+}
+
+func TestOneRankPerNodeHybridSlightlyWorse(t *testing.T) {
+	// Fig. 8's claim: with one rank per node the hybrid approach
+	// degenerates to MPI_Allgatherv and loses slightly.
+	model := sim.VulcanOpenMPI()
+	shape := make([]int, 16)
+	for i := range shape {
+		shape[i] = 1
+	}
+	hy, pure := hyVsPureLatency(t, model, shape, 64)
+	if hy <= pure {
+		t.Errorf("one rank/node: hybrid (%v) should be slightly slower than pure (%v)", hy, pure)
+	}
+	if hy > pure*3 {
+		t.Errorf("one rank/node: hybrid (%v) should be only slightly slower than pure (%v)", hy, pure)
+	}
+}
+
+func TestManyRanksPerNodeHybridWins(t *testing.T) {
+	// Fig. 9's claim: at high ppn the hybrid approach wins clearly.
+	model := sim.HazelHenCray()
+	shape := make([]int, 8)
+	for i := range shape {
+		shape[i] = 24
+	}
+	hy, pure := hyVsPureLatency(t, model, shape, 512)
+	if hy >= pure {
+		t.Errorf("24 ppn: hybrid (%v) should beat pure (%v)", hy, pure)
+	}
+}
+
+func TestSyncFlavorOrdering(t *testing.T) {
+	// Shared flags must be the cheapest synchronization, barrier the
+	// most expensive (ablation backing Sect. 6/7 remarks).
+	topoShape := []int{24}
+	cost := func(mode SyncMode) sim.Time {
+		topo, _ := sim.NewTopology(topoShape)
+		w, err := mpi.NewWorld(sim.HazelHenCray(), topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(func(p *mpi.Proc) error {
+			ctx, err := New(p.CommWorld(), WithSync(mode))
+			if err != nil {
+				return err
+			}
+			a, err := ctx.NewAllgatherer(8)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 10; i++ {
+				if err := a.Allgather(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxClock()
+	}
+	barrier := cost(SyncBarrier)
+	flags := cost(SyncSharedFlags)
+	if flags >= barrier {
+		t.Errorf("shared flags (%v) should undercut the barrier (%v)", flags, barrier)
+	}
+}
+
+func TestHybridDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		topo, _ := sim.NewTopology([]int{6, 6, 6, 6})
+		w, err := mpi.NewWorld(sim.VulcanOpenMPI(), topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(func(p *mpi.Proc) error {
+			ctx, err := New(p.CommWorld())
+			if err != nil {
+				return err
+			}
+			a, err := ctx.NewAllgatherer(4096)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 4; i++ {
+				if err := a.Allgather(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxClock()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("hybrid latency nondeterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,330 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatBasics(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 1)
+	if m.At(1, 2) != 6 {
+		t.Error("Set/Add/At broken")
+	}
+	if len(m.Row(1)) != 3 || m.Row(1)[2] != 6 {
+		t.Error("Row broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Error("Clone shares storage")
+	}
+	m.Zero()
+	if m.At(1, 2) != 0 {
+		t.Error("Zero broken")
+	}
+}
+
+func TestFromRowsAndT(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.T()
+	if tr.At(0, 1) != 3 || tr.At(1, 0) != 2 {
+		t.Error("transpose wrong")
+	}
+	if _, err := FromRows([][]float64{{1}, {2, 3}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows != 0 {
+		t.Error("empty FromRows broken")
+	}
+}
+
+func TestEyeScaleAddMat(t *testing.T) {
+	e := Eye(3).Scale(2)
+	if e.At(1, 1) != 2 || e.At(0, 1) != 0 {
+		t.Error("Eye/Scale broken")
+	}
+	if err := e.AddMat(Eye(3)); err != nil {
+		t.Fatal(err)
+	}
+	if e.At(2, 2) != 3 {
+		t.Error("AddMat broken")
+	}
+	if err := e.AddMat(NewMat(2, 2)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestGemm(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := NewMat(2, 2)
+	if err := Gemm(c, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("C[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	// Accumulation semantics: a second Gemm doubles the result.
+	if err := Gemm(c, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0, 0) != 38 {
+		t.Error("Gemm does not accumulate")
+	}
+	if err := Gemm(NewMat(2, 3), a, b); err == nil {
+		t.Error("bad shapes accepted")
+	}
+	if GemmFlops(2, 3, 4) != 48 {
+		t.Error("GemmFlops wrong")
+	}
+}
+
+func TestGemmAssociativityProperty(t *testing.T) {
+	// (A*B)*x == A*(B*x) for random small matrices.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(6)
+		a, b := NewMat(n, n), NewMat(n, n)
+		x := make([]float64, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+			b.Data[i] = rng.NormFloat64()
+		}
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		ab := NewMat(n, n)
+		if err := Gemm(ab, a, b); err != nil {
+			t.Fatal(err)
+		}
+		lhs, err := MulVec(ab, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bx, _ := MulVec(b, x)
+		rhs, _ := MulVec(a, bx)
+		for i := range lhs {
+			if !almostEq(lhs[i], rhs[i], 1e-9*(1+math.Abs(lhs[i]))) {
+				t.Fatalf("trial %d: (AB)x != A(Bx) at %d: %v vs %v", trial, i, lhs[i], rhs[i])
+			}
+		}
+	}
+}
+
+func TestMulVecErrors(t *testing.T) {
+	if _, err := MulVec(NewMat(2, 3), []float64{1}); err == nil {
+		t.Error("bad vector length accepted")
+	}
+}
+
+func TestSyrk(t *testing.T) {
+	c := NewMat(2, 2)
+	if err := SyrkUpper(c, []float64{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0, 0) != 4 || c.At(0, 1) != 6 || c.At(1, 1) != 9 {
+		t.Error("Syrk wrong")
+	}
+	if err := SyrkUpper(c, []float64{1}); err == nil {
+		t.Error("bad vector accepted")
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		// Build SPD A = M Mᵀ + n*I.
+		m := NewMat(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		a := NewMat(n, n)
+		if err := Gemm(a, m, m.T()); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n))
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// L Lᵀ must reproduce A.
+		back := NewMat(n, n)
+		if err := Gemm(back, l, l.T()); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !almostEq(back.At(i, j), a.At(i, j), 1e-8*(1+math.Abs(a.At(i, j)))) {
+					t.Fatalf("trial %d: LLt != A at (%d,%d)", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejects(t *testing.T) {
+	if _, err := Cholesky(NewMat(2, 3)); err == nil {
+		t.Error("non-square accepted")
+	}
+	neg, _ := FromRows([][]float64{{-1}})
+	if _, err := Cholesky(neg); err == nil {
+		t.Error("negative-definite accepted")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 1}, {1, 3}})
+	b := []float64{1, 2}
+	x, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check A x == b.
+	ax, _ := MulVec(a, x)
+	for i := range b {
+		if !almostEq(ax[i], b[i], 1e-12) {
+			t.Errorf("Ax[%d] = %v, want %v", i, ax[i], b[i])
+		}
+	}
+}
+
+func TestSolveSPDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := NewMat(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		a := NewMat(n, n)
+		_ = Gemm(a, m, m.T())
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		ax, _ := MulVec(a, x)
+		for i := range b {
+			if !almostEq(ax[i], b[i], 1e-7*(1+math.Abs(b[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangularSolveErrors(t *testing.T) {
+	l := Eye(2)
+	if _, err := SolveLower(l, []float64{1}); err == nil {
+		t.Error("bad length accepted")
+	}
+	if _, err := SolveUpperT(l, []float64{1}); err == nil {
+		t.Error("bad length accepted")
+	}
+	sing := NewMat(1, 1)
+	if _, err := SolveLower(sing, []float64{1}); err == nil {
+		t.Error("singular accepted")
+	}
+	if _, err := SolveUpperT(sing, []float64{1}); err == nil {
+		t.Error("singular accepted")
+	}
+}
+
+func TestSampleMVNMoments(t *testing.T) {
+	// Sample mean and covariance should approach the parameters.
+	mean := []float64{1, -2}
+	cov, _ := FromRows([][]float64{{2, 0.5}, {0.5, 1}})
+	rng := rand.New(rand.NewSource(42))
+	const nSamp = 20000
+	sum := make([]float64, 2)
+	cc := NewMat(2, 2)
+	for s := 0; s < nSamp; s++ {
+		x, err := SampleMVN(mean, cov, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := []float64{x[0] - mean[0], x[1] - mean[1]}
+		sum[0] += x[0]
+		sum[1] += x[1]
+		_ = SyrkUpper(cc, d)
+	}
+	for i := range mean {
+		if !almostEq(sum[i]/nSamp, mean[i], 0.05) {
+			t.Errorf("sample mean[%d] = %v, want ~%v", i, sum[i]/nSamp, mean[i])
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !almostEq(cc.At(i, j)/nSamp, cov.At(i, j), 0.08) {
+				t.Errorf("sample cov[%d][%d] = %v, want ~%v", i, j, cc.At(i, j)/nSamp, cov.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSampleWishartMean(t *testing.T) {
+	// E[Wishart(S, dof)] = dof * S.
+	scale, _ := FromRows([][]float64{{0.5, 0.1}, {0.1, 0.3}})
+	const dof = 10
+	rng := rand.New(rand.NewSource(9))
+	mean := NewMat(2, 2)
+	const nSamp = 4000
+	for s := 0; s < nSamp; s++ {
+		w, err := SampleWishart(scale, dof, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = mean.AddMat(w)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := dof * scale.At(i, j)
+			got := mean.At(i, j) / nSamp
+			if !almostEq(got, want, 0.25) {
+				t.Errorf("Wishart mean[%d][%d] = %v, want ~%v", i, j, got, want)
+			}
+		}
+	}
+	if _, err := SampleWishart(scale, 1, rng); err == nil {
+		t.Error("dof < dim accepted")
+	}
+}
+
+func TestSampleMVNDeterministicPerSeed(t *testing.T) {
+	mean := []float64{0, 0, 0}
+	cov := Eye(3)
+	a, _ := SampleMVN(mean, cov, rand.New(rand.NewSource(5)))
+	b, _ := SampleMVN(mean, cov, rand.New(rand.NewSource(5)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("MVN sampling not reproducible per seed")
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Buf is a message buffer. It always knows its length; whether it also
+// carries real bytes depends on how it was created.
+//
+// The paper's large experiments (e.g. Fig. 9: 64 nodes x 24 ranks, each
+// holding a 1536-rank x 16384-double result buffer) would need hundreds
+// of gigabytes if every rank really allocated its receive buffer, so the
+// benchmark harness runs with size-only buffers: every transfer and copy
+// is charged its full virtual-time cost, but no bytes move. Correctness
+// tests run the identical code paths with real buffers at small scale.
+type Buf struct {
+	b []byte
+	n int
+}
+
+// Bytes wraps a real byte slice as a buffer.
+func Bytes(b []byte) Buf { return Buf{b: b, n: len(b)} }
+
+// Sized returns a size-only buffer of n bytes with no backing storage.
+func Sized(n int) Buf {
+	if n < 0 {
+		n = 0
+	}
+	return Buf{n: n}
+}
+
+// Alloc returns an n-byte buffer, with real backing storage iff real is
+// true. It is the allocation primitive the harness and tests share.
+func Alloc(n int, real bool) Buf {
+	if real {
+		return Bytes(make([]byte, n))
+	}
+	return Sized(n)
+}
+
+// Len returns the buffer length in bytes.
+func (b Buf) Len() int { return b.n }
+
+// Real reports whether the buffer carries actual bytes.
+func (b Buf) Real() bool { return b.b != nil }
+
+// Raw exposes the backing bytes (nil for size-only buffers).
+func (b Buf) Raw() []byte { return b.b }
+
+// Slice returns the sub-buffer [off, off+n). It works for size-only
+// buffers as well, where it only adjusts the accounted length.
+func (b Buf) Slice(off, n int) Buf {
+	if off < 0 || n < 0 || off+n > b.n {
+		panic(fmt.Sprintf("mpi: Buf.Slice(%d, %d) out of range of %d-byte buffer", off, n, b.n))
+	}
+	if b.b == nil {
+		return Buf{n: n}
+	}
+	return Buf{b: b.b[off : off+n], n: n}
+}
+
+// CopyData moves bytes from src to dst when both sides are real. The
+// byte count accounted (and returned) is min(len(dst), len(src))
+// regardless, so size-only runs charge identical virtual time.
+func CopyData(dst, src Buf) int {
+	n := dst.n
+	if src.n < n {
+		n = src.n
+	}
+	if dst.b != nil && src.b != nil {
+		copy(dst.b[:n], src.b[:n])
+	}
+	return n
+}
+
+// clone snapshots a buffer for eager sends: real buffers are copied so
+// the sender may immediately reuse its storage, size-only buffers just
+// keep their length.
+func (b Buf) clone() Buf {
+	if b.b == nil {
+		return b
+	}
+	c := make([]byte, b.n)
+	copy(c, b.b)
+	return Bytes(c)
+}
+
+// Float64 element helpers. The collectives and applications store
+// double-precision values (the element type of every experiment in the
+// paper) in little-endian order.
+
+// PutFloat64 stores v at element index i (8-byte stride). Size-only
+// buffers ignore writes.
+func (b Buf) PutFloat64(i int, v float64) {
+	if b.b == nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(b.b[8*i:], math.Float64bits(v))
+}
+
+// Float64At loads the element at index i; size-only buffers read zero.
+func (b Buf) Float64At(i int) float64 {
+	if b.b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b.b[8*i:]))
+}
+
+// PutInt64 stores v at element index i (8-byte stride).
+func (b Buf) PutInt64(i int, v int64) {
+	if b.b == nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(b.b[8*i:], uint64(v))
+}
+
+// Int64At loads the element at index i.
+func (b Buf) Int64At(i int) int64 {
+	if b.b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b.b[8*i:]))
+}
+
+// FromFloat64s packs a float64 slice into a fresh real buffer.
+func FromFloat64s(v []float64) Buf {
+	b := Bytes(make([]byte, 8*len(v)))
+	for i, x := range v {
+		b.PutFloat64(i, x)
+	}
+	return b
+}
+
+// Float64s unpacks the buffer into a fresh float64 slice (length
+// Len()/8). Size-only buffers produce zeros.
+func (b Buf) Float64s() []float64 {
+	out := make([]float64, b.n/8)
+	if b.b == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = b.Float64At(i)
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBufBasics(t *testing.T) {
+	b := Bytes(make([]byte, 16))
+	if !b.Real() || b.Len() != 16 {
+		t.Fatalf("Bytes(16): real=%v len=%d", b.Real(), b.Len())
+	}
+	s := Sized(32)
+	if s.Real() || s.Len() != 32 {
+		t.Fatalf("Sized(32): real=%v len=%d", s.Real(), s.Len())
+	}
+	if Sized(-3).Len() != 0 {
+		t.Error("negative size should clamp to 0")
+	}
+	if Alloc(8, true).Real() != true || Alloc(8, false).Real() != false {
+		t.Error("Alloc real flag not honored")
+	}
+}
+
+func TestBufSlice(t *testing.T) {
+	b := Bytes([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	s := b.Slice(2, 4)
+	if s.Len() != 4 || s.Raw()[0] != 2 {
+		t.Fatalf("Slice(2,4) = len %d first %d", s.Len(), s.Raw()[0])
+	}
+	// Size-only slices keep only the length.
+	m := Sized(100).Slice(10, 20)
+	if m.Real() || m.Len() != 20 {
+		t.Errorf("model slice: real=%v len=%d", m.Real(), m.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Slice did not panic")
+		}
+	}()
+	b.Slice(6, 4)
+}
+
+func TestCopyData(t *testing.T) {
+	src := Bytes([]byte{1, 2, 3, 4})
+	dst := Bytes(make([]byte, 4))
+	if n := CopyData(dst, src); n != 4 {
+		t.Fatalf("copied %d, want 4", n)
+	}
+	if dst.Raw()[3] != 4 {
+		t.Error("bytes not copied")
+	}
+	// Accounting must be identical when either side is size-only.
+	if n := CopyData(Sized(4), src); n != 4 {
+		t.Errorf("size-only dst accounted %d", n)
+	}
+	if n := CopyData(dst, Sized(2)); n != 2 {
+		t.Errorf("short size-only src accounted %d", n)
+	}
+}
+
+func TestBufFloat64RoundTrip(t *testing.T) {
+	f := func(v []float64) bool {
+		b := FromFloat64s(v)
+		got := b.Float64s()
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] && !(v[i] != v[i] && got[i] != got[i]) { // NaN-safe
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufInt64(t *testing.T) {
+	b := Bytes(make([]byte, 24))
+	b.PutInt64(0, -7)
+	b.PutInt64(2, 1<<40)
+	if b.Int64At(0) != -7 || b.Int64At(2) != 1<<40 || b.Int64At(1) != 0 {
+		t.Error("int64 round trip failed")
+	}
+	// Size-only buffers ignore writes and read zero.
+	m := Sized(24)
+	m.PutInt64(0, 42)
+	m.PutFloat64(1, 3.14)
+	if m.Int64At(0) != 0 || m.Float64At(1) != 0 {
+		t.Error("size-only buffer should read zeros")
+	}
+}
+
+func TestBufClone(t *testing.T) {
+	orig := Bytes([]byte{9, 9})
+	c := orig.clone()
+	orig.Raw()[0] = 1
+	if c.Raw()[0] != 9 {
+		t.Error("clone shares storage with original")
+	}
+	m := Sized(8).clone()
+	if m.Real() || m.Len() != 8 {
+		t.Error("size-only clone should stay size-only")
+	}
+}
+
+func TestOps(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b float64
+		want float64
+	}{
+		{OpSum, 2, 3, 5},
+		{OpProd, 2, 3, 6},
+		{OpMax, 2, 3, 3},
+		{OpMin, 2, 3, 2},
+	}
+	for _, c := range cases {
+		dst := FromFloat64s([]float64{c.a})
+		src := FromFloat64s([]float64{c.b})
+		c.op.Apply(dst, src, 1, Float64)
+		if got := dst.Float64At(0); got != c.want {
+			t.Errorf("%s(%v,%v) = %v, want %v", c.op.Name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOpsInt64AndByte(t *testing.T) {
+	dst := Bytes(make([]byte, 8))
+	src := Bytes(make([]byte, 8))
+	dst.PutInt64(0, 10)
+	src.PutInt64(0, -4)
+	OpSum.Apply(dst, src, 1, Int64)
+	if dst.Int64At(0) != 6 {
+		t.Errorf("int64 sum = %d", dst.Int64At(0))
+	}
+	d := Bytes([]byte{1, 200})
+	s := Bytes([]byte{3, 100})
+	OpMax.Apply(d, s, 2, Byte)
+	if d.Raw()[0] != 3 || d.Raw()[1] != 200 {
+		t.Errorf("byte max = %v", d.Raw())
+	}
+}
+
+func TestOpsSizeOnlyNoop(t *testing.T) {
+	dst := Sized(8)
+	OpSum.Apply(dst, FromFloat64s([]float64{1}), 1, Float64) // must not panic
+	OpSum.Apply(FromFloat64s([]float64{1}), Sized(8), 1, Float64)
+}
+
+func TestDatatype(t *testing.T) {
+	if Float64.Size() != 8 || Int64.Size() != 8 || Byte.Size() != 1 {
+		t.Error("datatype sizes wrong")
+	}
+	if Float64.String() != "float64" || Byte.String() != "byte" {
+		t.Error("datatype names wrong")
+	}
+	if Datatype(42).String() == "" || Datatype(42).Size() != 1 {
+		t.Error("unknown datatype misbehaves")
+	}
+}
+
+func TestOpSumProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		dst := FromFloat64s(a[:n])
+		src := FromFloat64s(b[:n])
+		OpSum.Apply(dst, src, n, Float64)
+		for i := 0; i < n; i++ {
+			want := a[i] + b[i]
+			got := dst.Float64At(i)
+			if got != want && !(want != want && got != got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Undefined is the color value that opts a rank out of a Split —
+// MPI_UNDEFINED. Split returns a nil *Comm for such ranks, mirroring
+// MPI_COMM_NULL (the paper's Fig. 4 pseudo-code checks exactly this to
+// distinguish leaders from children).
+const Undefined = int(^uint(0) >> 1) // MaxInt
+
+// Comm is a communicator handle local to one rank. Handles on different
+// ranks that were created by the same collective call share a context id
+// and a rank translation table.
+type Comm struct {
+	p     *Proc
+	ctx   int
+	ranks []int // comm rank -> global rank (shared, read-only)
+	rank  int   // this process's comm rank
+	seq   int   // sequence number for untimed coordination calls
+
+	oneNode int8 // cached single-node test: 0 unknown, 1 yes, -1 no
+}
+
+// CommWorld returns this rank's handle on MPI_COMM_WORLD. The handle is
+// a per-process singleton: untimed coordination calls (Split, window
+// allocation, shm barriers) are sequenced per communicator handle, so
+// every call site must observe the same sequence counter.
+func (p *Proc) CommWorld() *Comm {
+	if p.commWorld == nil {
+		p.commWorld = &Comm{p: p, ctx: 0, ranks: p.world.identity, rank: p.rank}
+	}
+	return p.commWorld
+}
+
+// Rank returns the calling process's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Proc returns the owning process.
+func (c *Comm) Proc() *Proc { return c.p }
+
+// Global translates a comm rank to a global (world) rank.
+func (c *Comm) Global(rank int) int { return c.ranks[rank] }
+
+// Ranks returns the comm-rank -> global-rank table (do not modify).
+func (c *Comm) Ranks() []int { return c.ranks }
+
+// nextSeq issues the next coordination sequence number. Untimed
+// collective setup calls (Split, window allocation) must be invoked in
+// the same order by every member, which MPI requires anyway.
+func (c *Comm) nextSeq() int {
+	c.seq++
+	return c.seq
+}
+
+// exchange performs an untimed allgather of one value per member. It is
+// the building block for communicator and window construction — the
+// "one-off" operations whose cost the paper explicitly excludes from
+// measurements (Sect. 4.1).
+func (c *Comm) exchange(val any) []any {
+	key := coordKey{ctx: c.ctx, seq: c.nextSeq()}
+	return c.p.world.coord.exchange(key, c.rank, len(c.ranks), val, c.p.world.abortCh)
+}
+
+// Setup performs an untimed allgather of one value per member. It
+// exists for "one-off" construction work — communicator metadata,
+// window geometry, hierarchy shapes — which the paper's measurements
+// explicitly exclude (Sect. 4.1). It must be called collectively and in
+// the same order by all members, like every MPI setup call.
+func (c *Comm) Setup(val any) []any { return c.exchange(val) }
+
+type splitEntry struct {
+	color, key, globalRank, commRank int
+}
+
+// Split partitions the communicator by color, ordering each new group
+// by (key, parent rank) — MPI_Comm_split. Ranks passing Undefined
+// receive nil.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	vals := c.exchange(splitEntry{color: color, key: key, globalRank: c.p.rank, commRank: c.rank})
+
+	// Collect the distinct colors in deterministic order so every
+	// member assigns the same context ids.
+	entries := make([]splitEntry, 0, len(vals))
+	colorSet := map[int]bool{}
+	var colors []int
+	for _, v := range vals {
+		e := v.(splitEntry)
+		entries = append(entries, e)
+		if e.color != Undefined && !colorSet[e.color] {
+			colorSet[e.color] = true
+			colors = append(colors, e.color)
+		}
+	}
+	sort.Ints(colors)
+
+	// Comm rank 0 allocates a context id per color and publishes the
+	// assignment; ids must be identical across members.
+	var ctxByColor map[int]int
+	if c.rank == 0 {
+		ctxByColor = make(map[int]int, len(colors))
+		for _, col := range colors {
+			ctxByColor[col] = c.p.world.newContext()
+		}
+	}
+	published := c.exchange(ctxByColor)
+	ctxByColor, _ = published[0].(map[int]int)
+	if ctxByColor == nil && len(colors) > 0 {
+		return nil, fmt.Errorf("mpi: Split context assignment missing")
+	}
+
+	if color == Undefined {
+		return nil, nil
+	}
+	group := make([]splitEntry, 0, len(entries))
+	for _, e := range entries {
+		if e.color == color {
+			group = append(group, e)
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].commRank < group[j].commRank
+	})
+	ranks := make([]int, len(group))
+	myRank := -1
+	for i, e := range group {
+		ranks[i] = e.globalRank
+		if e.globalRank == c.p.rank {
+			myRank = i
+		}
+	}
+	if myRank < 0 {
+		return nil, fmt.Errorf("mpi: rank %d missing from its own split group", c.p.rank)
+	}
+	return &Comm{p: c.p, ctx: ctxByColor[color], ranks: ranks, rank: myRank}, nil
+}
+
+// SplitTypeShared splits the communicator into shared-memory groups, one
+// per node — MPI_Comm_split_type(MPI_COMM_TYPE_SHARED). This is the
+// first step of the paper's hierarchical communicator setup (Fig. 1a).
+func (c *Comm) SplitTypeShared() (*Comm, error) {
+	return c.Split(c.p.Node(), c.rank)
+}
+
+// SplitBridge builds the paper's bridge communicator (Fig. 2): the
+// lowest rank of each shared-memory group becomes a leader; leaders form
+// the bridge, everyone else gets nil.
+func (c *Comm) SplitBridge(nodeComm *Comm) (*Comm, error) {
+	color := Undefined
+	if nodeComm.Rank() == 0 {
+		color = 0
+	}
+	return c.Split(color, c.rank)
+}
+
+// Dup duplicates the communicator with a fresh context (MPI_Comm_dup),
+// isolating its traffic from the parent's.
+func (c *Comm) Dup() (*Comm, error) {
+	return c.Split(0, c.rank)
+}
+
+// coordinator implements the untimed rendezvous used by exchange.
+type coordKey struct{ ctx, seq int }
+
+type coordSession struct {
+	vals      []any
+	remaining int
+	released  int
+	done      chan struct{}
+}
+
+type coordinator struct {
+	mu       sync.Mutex
+	sessions map[coordKey]*coordSession
+}
+
+func newCoordinator() *coordinator {
+	return &coordinator{sessions: map[coordKey]*coordSession{}}
+}
+
+// exchange blocks until all size members of the (ctx, seq) session have
+// contributed, then returns the full contribution vector to each. If
+// the job aborts while waiting, exchange panics with ErrAborted; the
+// panic is recovered by World.Run and reported as the rank's error.
+func (co *coordinator) exchange(key coordKey, rank, size int, val any, abort <-chan struct{}) []any {
+	co.mu.Lock()
+	s := co.sessions[key]
+	if s == nil {
+		s = &coordSession{vals: make([]any, size), remaining: size, done: make(chan struct{})}
+		co.sessions[key] = s
+	}
+	s.vals[rank] = val
+	s.remaining--
+	if s.remaining == 0 {
+		close(s.done)
+	}
+	co.mu.Unlock()
+
+	select {
+	case <-s.done:
+	case <-abort:
+		panic(ErrAborted)
+	}
+
+	co.mu.Lock()
+	s.released++
+	if s.released == size {
+		delete(co.sessions, key)
+	}
+	co.mu.Unlock()
+	return s.vals
+}

@@ -1,0 +1,218 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestContigLayout(t *testing.T) {
+	c := Contig{N: 10}
+	if c.Extent() != 10 || c.Size() != 10 {
+		t.Error("contig geometry wrong")
+	}
+	if (Contig{}).Extent() != 0 {
+		t.Error("empty contig extent")
+	}
+}
+
+func TestVectorLayout(t *testing.T) {
+	// A column of a 4x3 matrix of 8-byte elements.
+	v := Vector{Count: 4, BlockLen: 8, Stride: 24}
+	if v.Size() != 32 {
+		t.Errorf("size = %d", v.Size())
+	}
+	if v.Extent() != 3*24+8 {
+		t.Errorf("extent = %d", v.Extent())
+	}
+	if (Vector{}).Extent() != 0 {
+		t.Error("empty vector extent")
+	}
+}
+
+func TestIndexedLayout(t *testing.T) {
+	x := Indexed{Offsets: []int{8, 0, 32}, Lengths: []int{4, 4, 8}}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Size() != 16 || x.Extent() != 40 {
+		t.Errorf("size=%d extent=%d", x.Size(), x.Extent())
+	}
+	if (Indexed{Offsets: []int{0}, Lengths: []int{1, 2}}).Validate() == nil {
+		t.Error("ragged indexed accepted")
+	}
+	if (Indexed{Offsets: []int{-1}, Lengths: []int{1}}).Validate() == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	w := newTestWorld(t, 1, 1)
+	err := w.Run(func(p *Proc) error {
+		// 4x4 matrix of float64; pack column 1.
+		src := Bytes(make([]byte, 4*4*8))
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				src.PutFloat64(r*4+c, float64(10*r+c))
+			}
+		}
+		col := Vector{Count: 4, BlockLen: 8, Stride: 32}
+		packed, err := p.Pack(src.Slice(8, src.Len()-8), col)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < 4; r++ {
+			if got := packed.Float64At(r); got != float64(10*r+1) {
+				t.Errorf("packed[%d] = %v", r, got)
+			}
+		}
+		// Scatter it into column 2 of a fresh matrix.
+		dst := Bytes(make([]byte, 4*4*8))
+		if err := p.Unpack(packed, dst.Slice(16, dst.Len()-16), col); err != nil {
+			return err
+		}
+		for r := 0; r < 4; r++ {
+			if got := dst.Float64At(r*4 + 2); got != float64(10*r+1) {
+				t.Errorf("dst col2[%d] = %v", r, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackChargesTime(t *testing.T) {
+	w := newTestWorld(t, 1, 1)
+	err := w.Run(func(p *Proc) error {
+		src := Bytes(make([]byte, 1<<16))
+		before := p.Clock()
+		if _, err := p.Pack(src, Contig{N: 1 << 16}); err != nil {
+			return err
+		}
+		if p.Clock() == before {
+			t.Error("pack charged no time")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackValidation(t *testing.T) {
+	w := newTestWorld(t, 1, 1)
+	err := w.Run(func(p *Proc) error {
+		if _, err := p.Pack(Sized(4), Contig{N: 8}); err == nil {
+			t.Error("short pack source accepted")
+		}
+		if err := p.Unpack(Sized(4), Sized(64), Contig{N: 8}); err == nil {
+			t.Error("short unpack source accepted")
+		}
+		if err := p.Unpack(Sized(8), Sized(4), Contig{N: 8}); err == nil {
+			t.Error("short unpack destination accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvLayout(t *testing.T) {
+	w := newTestWorld(t, 1, 2)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		// Send a strided column; the receiver scatters it into a
+		// different stride.
+		col := Vector{Count: 3, BlockLen: 8, Stride: 16}
+		if p.Rank() == 0 {
+			src := Bytes(make([]byte, col.Extent()))
+			for i := 0; i < 3; i++ {
+				src.PutFloat64(i*2, float64(7+i))
+			}
+			return c.SendLayout(src, col, 1, 5)
+		}
+		wide := Vector{Count: 3, BlockLen: 8, Stride: 24}
+		dst := Bytes(make([]byte, wide.Extent()))
+		if _, err := c.RecvLayout(dst, wide, 0, 5); err != nil {
+			return err
+		}
+		for i := 0; i < 3; i++ {
+			if got := dst.Float64At(i * 3); got != float64(7+i) {
+				t.Errorf("elem %d = %v", i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorSizeProperty(t *testing.T) {
+	f := func(count, blockLen uint8) bool {
+		v := Vector{Count: int(count), BlockLen: int(blockLen), Stride: int(blockLen) + 3}
+		if v.Size() != int(count)*int(blockLen) {
+			return false
+		}
+		// Extent >= Size whenever stride >= blocklen.
+		return v.Extent() >= v.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackNonSMPUseCase(t *testing.T) {
+	// The Sect. 6 scenario: under round-robin placement a node's
+	// blocks are strided in rank order; packing them costs time the
+	// node-sorted rank array avoids. Lock in that pack+send is
+	// costlier than the direct send of the same bytes.
+	topo, err := sim.NewTopology([]int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(sim.HazelHenCray(), topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var packed, direct sim.Time
+	err = w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		// Keep the message eager so the sender-side comparison is
+		// not polluted by rendezvous waits on the receiver.
+		const blk = 512
+		l := Vector{Count: 8, BlockLen: blk, Stride: 2 * blk}
+		if p.Rank() == 0 {
+			src := Sized(l.Extent())
+			start := p.Clock()
+			if err := c.SendLayout(src, l, 2, 1); err != nil {
+				return err
+			}
+			packed = p.Clock() - start
+			start = p.Clock()
+			if err := c.Send(Sized(l.Size()), 2, 2); err != nil {
+				return err
+			}
+			direct = p.Clock() - start
+		}
+		if p.Rank() == 2 {
+			if _, err := c.RecvLayout(Sized(l.Extent()), l, 0, 1); err != nil {
+				return err
+			}
+			if _, err := c.Recv(Sized(l.Size()), 0, 2); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed <= direct {
+		t.Errorf("packing penalty missing: packed %v <= direct %v", packed, direct)
+	}
+}

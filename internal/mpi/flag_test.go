@@ -1,0 +1,99 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSendRecvFlagOrdering(t *testing.T) {
+	// The flag carries a happens-before edge: data written before
+	// SendFlag must be visible after RecvFlag.
+	w := newTestWorld(t, 1, 2)
+	shared := make([]float64, 1)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			shared[0] = 42
+			return c.SendFlag(1, 9)
+		}
+		if err := c.RecvFlag(0, 9); err != nil {
+			return err
+		}
+		if shared[0] != 42 {
+			t.Errorf("flag did not order the write: %v", shared[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagCheaperThanMessage(t *testing.T) {
+	// A flag signal must cost far less than a shm transport message —
+	// that gap is what makes the "light-weight means" light.
+	w, err := NewWorld(sim.HazelHenCray(), sim.MustUniform(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flagT, msgT sim.Time
+	err = w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			if err := c.SendFlag(1, 1); err != nil {
+				return err
+			}
+			return c.Send(Sized(0), 1, 2)
+		}
+		if err := c.RecvFlag(0, 1); err != nil {
+			return err
+		}
+		flagT = p.Clock()
+		if _, err := c.Recv(Sized(0), 0, 2); err != nil {
+			return err
+		}
+		msgT = p.Clock() - flagT
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flagT >= msgT {
+		t.Errorf("flag (%v) should be cheaper than a message (%v)", flagT, msgT)
+	}
+}
+
+func TestFlagRejectsCrossNode(t *testing.T) {
+	w := newTestWorld(t, 2, 1)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if err := c.SendFlag(1-p.Rank(), 1); err == nil {
+			t.Errorf("rank %d: cross-node SendFlag accepted", p.Rank())
+		}
+		if err := c.RecvFlag(1-p.Rank(), 1); err == nil {
+			t.Errorf("rank %d: cross-node RecvFlag accepted", p.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagRankValidation(t *testing.T) {
+	w := newTestWorld(t, 1, 2)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if err := c.SendFlag(99, 1); err == nil {
+			t.Error("bad dst accepted")
+		}
+		if err := c.RecvFlag(-3, 1); err == nil {
+			t.Error("bad src accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

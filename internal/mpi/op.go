@@ -1,0 +1,132 @@
+package mpi
+
+import "fmt"
+
+// Datatype identifies the element type of a reduction, fixing the
+// element size and arithmetic.
+type Datatype int
+
+const (
+	// Float64 is double precision — the element type of every
+	// experiment in the paper.
+	Float64 Datatype = iota
+	// Int64 is signed 64-bit integers.
+	Int64
+	// Byte is raw bytes (reduced with max/min/sum modulo 256; mostly
+	// for tests).
+	Byte
+)
+
+// Size returns the element size in bytes.
+func (d Datatype) Size() int {
+	switch d {
+	case Float64, Int64:
+		return 8
+	default:
+		return 1
+	}
+}
+
+// String names the datatype.
+func (d Datatype) String() string {
+	switch d {
+	case Float64:
+		return "float64"
+	case Int64:
+		return "int64"
+	case Byte:
+		return "byte"
+	default:
+		return fmt.Sprintf("Datatype(%d)", int(d))
+	}
+}
+
+// Op is a reduction operator: dst[i] = dst[i] op src[i] for count
+// elements. Size-only buffers reduce to a no-op on data (virtual compute
+// time is charged by the collective, not the operator).
+type Op struct {
+	Name  string
+	f64   func(a, b float64) float64
+	i64   func(a, b int64) int64
+	byteF func(a, b byte) byte
+}
+
+// Apply folds src into dst element-wise.
+func (o Op) Apply(dst, src Buf, count int, dt Datatype) {
+	if !dst.Real() || !src.Real() {
+		return
+	}
+	switch dt {
+	case Float64:
+		for i := 0; i < count; i++ {
+			dst.PutFloat64(i, o.f64(dst.Float64At(i), src.Float64At(i)))
+		}
+	case Int64:
+		for i := 0; i < count; i++ {
+			dst.PutInt64(i, o.i64(dst.Int64At(i), src.Int64At(i)))
+		}
+	case Byte:
+		d, s := dst.Raw(), src.Raw()
+		for i := 0; i < count; i++ {
+			d[i] = o.byteF(d[i], s[i])
+		}
+	}
+}
+
+// The standard reduction operators.
+var (
+	OpSum = Op{
+		Name:  "sum",
+		f64:   func(a, b float64) float64 { return a + b },
+		i64:   func(a, b int64) int64 { return a + b },
+		byteF: func(a, b byte) byte { return a + b },
+	}
+	OpProd = Op{
+		Name:  "prod",
+		f64:   func(a, b float64) float64 { return a * b },
+		i64:   func(a, b int64) int64 { return a * b },
+		byteF: func(a, b byte) byte { return a * b },
+	}
+	OpMax = Op{
+		Name: "max",
+		f64: func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		i64: func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		byteF: func(a, b byte) byte {
+			if a > b {
+				return a
+			}
+			return b
+		},
+	}
+	OpMin = Op{
+		Name: "min",
+		f64: func(a, b float64) float64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		i64: func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		byteF: func(a, b byte) byte {
+			if a < b {
+				return a
+			}
+			return b
+		},
+	}
+)

@@ -1,0 +1,272 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Wildcards for Recv/Irecv, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG. The
+// collective algorithms never use them (determinism), but user code may.
+const (
+	AnySource = -1
+	AnyTag    = -2
+)
+
+// Status describes a completed receive.
+type Status struct {
+	Source int // comm rank the message came from
+	Tag    int
+	Bytes  int
+}
+
+// message is a posted send waiting to be matched.
+type message struct {
+	src, dst  int // global ranks
+	commSrc   int // sender's comm rank (reported in Status)
+	tag       int
+	data      Buf
+	eager     bool
+	flag      bool          // shared-memory flag signal (store/poll, not transport)
+	postClock sim.Time      // sender clock when the send was posted
+	done      chan sim.Time // sender completion time (rendezvous)
+}
+
+// recvReq is a posted receive waiting to be matched.
+type recvReq struct {
+	src, tag  int // comm-rank source filter (or wildcards)
+	srcGlobal int // resolved global source, or AnySource
+	buf       Buf
+	postClock sim.Time
+	result    chan recvResult
+}
+
+type recvResult struct {
+	at     sim.Time
+	bytes  int
+	source int // comm rank
+	tag    int
+}
+
+// matcher pairs posted sends with posted receives. It is sharded by
+// destination rank so that large jobs do not serialize on one lock.
+type matcher struct {
+	shards []matchShard
+}
+
+type matchShard struct {
+	mu    sync.Mutex
+	byCtx map[int]*rankQueue
+}
+
+// rankQueue holds the unmatched sends and receives targeting one
+// (context, destination) pair, in posting order (MPI's non-overtaking
+// rule).
+type rankQueue struct {
+	sends []*message
+	recvs []*recvReq
+}
+
+func newMatcher() *matcher { return &matcher{} }
+
+func (m *matcher) shard(dst int) *matchShard {
+	return &m.shards[dst]
+}
+
+// init sizes the shard table once the world size is known.
+func (m *matcher) sizeTo(n int) {
+	m.shards = make([]matchShard, n)
+	for i := range m.shards {
+		m.shards[i].byCtx = make(map[int]*rankQueue)
+	}
+}
+
+func (s *matchShard) queue(ctx int) *rankQueue {
+	q := s.byCtx[ctx]
+	if q == nil {
+		q = &rankQueue{}
+		s.byCtx[ctx] = q
+	}
+	return q
+}
+
+// matches reports whether a posted receive accepts a message.
+func (r *recvReq) matches(m *message) bool {
+	if r.srcGlobal != AnySource && r.srcGlobal != m.src {
+		return false
+	}
+	return r.tag == AnyTag || r.tag == m.tag
+}
+
+// postSend enqueues a send or pairs it with a waiting receive. It
+// returns the matched receive (nil if queued).
+func (m *matcher) postSend(ctx int, msg *message) *recvReq {
+	s := m.shard(msg.dst)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queue(ctx)
+	for i, r := range q.recvs {
+		if r.matches(msg) {
+			q.recvs = append(q.recvs[:i], q.recvs[i+1:]...)
+			return r
+		}
+	}
+	q.sends = append(q.sends, msg)
+	return nil
+}
+
+// postRecv enqueues a receive or pairs it with a waiting send. It
+// returns the matched send (nil if queued).
+func (m *matcher) postRecv(ctx, dst int, r *recvReq) *message {
+	s := m.shard(dst)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queue(ctx)
+	for i, msg := range q.sends {
+		if r.matches(msg) {
+			q.sends = append(q.sends[:i], q.sends[i+1:]...)
+			return msg
+		}
+	}
+	q.recvs = append(q.recvs, r)
+	return nil
+}
+
+// complete computes the virtual-time semantics of a matched pair, moves
+// the data, and wakes both sides. Exactly one goroutine calls complete
+// per pair (whichever posted second), so no further locking is needed.
+func (w *World) complete(m *message, r *recvReq) {
+	if m.flag {
+		// Shared-memory flag: the signaler paid one store at post;
+		// the waiter leaves as soon as the store lands, plus one
+		// hot-line load.
+		arrival := m.postClock + w.model.MemAlpha
+		m.done <- m.postClock + w.model.MemAlpha
+		r.result <- recvResult{
+			at:     sim.MaxTime(r.postClock, arrival) + w.model.MemAlpha/4,
+			source: m.commSrc,
+			tag:    m.tag,
+		}
+		return
+	}
+	class := w.topo.Hop(m.src, m.dst)
+	n := m.data.Len()
+	if r.buf.Len() < n {
+		n = r.buf.Len() // truncation: account only what lands
+	}
+	xfer := w.model.XferCost(class, n)
+	var sendDone, recvDone sim.Time
+	if m.eager {
+		// Sender fired and forgot at post time; the wire delay
+		// runs concurrently with whatever the sender did next.
+		arrival := m.postClock + w.model.SendOverhead + xfer
+		sendDone = m.postClock + w.model.SendOverhead
+		recvDone = sim.MaxTime(r.postClock, arrival) + w.model.RecvOverhead
+	} else {
+		// Rendezvous: the transfer starts when both sides are
+		// ready and both observe its completion.
+		start := sim.MaxTime(m.postClock+w.model.SendOverhead, r.postClock)
+		sendDone = start + xfer
+		recvDone = sendDone + w.model.RecvOverhead
+	}
+	bytes := CopyData(r.buf, m.data)
+	m.done <- sendDone
+	r.result <- recvResult{at: recvDone, bytes: bytes, source: m.commSrc, tag: m.tag}
+}
+
+// SendFlag signals a same-node peer through a shared-memory flag: one
+// cache-line store on the signaling side. It is the building block of
+// the "light-weight means" of synchronization the paper discusses in
+// Sect. 6 — ordering without message-transport costs. dst must live on
+// the caller's node.
+func (c *Comm) SendFlag(dst, tag int) error {
+	if err := c.validRank(dst, false); err != nil {
+		return err
+	}
+	w := c.p.world
+	if w.topo.Hop(c.p.rank, c.ranks[dst]) == sim.HopNet {
+		return fmt.Errorf("mpi: SendFlag to rank %d on another node", dst)
+	}
+	msg := &message{
+		src:       c.p.rank,
+		dst:       c.ranks[dst],
+		commSrc:   c.rank,
+		tag:       tag,
+		data:      Sized(0),
+		eager:     true,
+		flag:      true,
+		postClock: c.p.clock,
+		done:      make(chan sim.Time, 1),
+	}
+	if r := w.match.postSend(c.ctx, msg); r != nil {
+		w.complete(msg, r)
+	}
+	c.p.advance(w.model.MemAlpha) // the flag store
+	return nil
+}
+
+// RecvFlag blocks until the matching SendFlag from src lands (modeled
+// as spinning on the shared flag).
+func (c *Comm) RecvFlag(src, tag int) error {
+	if err := c.validRank(src, false); err != nil {
+		return err
+	}
+	if c.p.world.topo.Hop(c.p.rank, c.ranks[src]) == sim.HopNet {
+		return fmt.Errorf("mpi: RecvFlag from rank %d on another node", src)
+	}
+	req, err := c.Irecv(Sized(0), src, tag)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+// Send posts a blocking standard-mode send on the communicator. Small
+// messages (<= the model's eager limit) buffer and return immediately;
+// large messages rendezvous with the matching receive, exactly like the
+// protocols the cost model mimics.
+func (c *Comm) Send(buf Buf, dst, tag int) error {
+	req, err := c.Isend(buf, dst, tag)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+// Recv posts a blocking receive. src may be a comm rank or AnySource;
+// tag may be AnyTag.
+func (c *Comm) Recv(buf Buf, src, tag int) (Status, error) {
+	req, err := c.Irecv(buf, src, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	return req.Wait()
+}
+
+// Sendrecv posts the receive, then the send, then completes both — the
+// deadlock-free exchange the ring and recursive-doubling collectives are
+// built on.
+func (c *Comm) Sendrecv(sendBuf Buf, dst, sendTag int, recvBuf Buf, src, recvTag int) (Status, error) {
+	rr, err := c.Irecv(recvBuf, src, recvTag)
+	if err != nil {
+		return Status{}, err
+	}
+	if err := c.Send(sendBuf, dst, sendTag); err != nil {
+		return Status{}, err
+	}
+	return rr.Wait()
+}
+
+// validRank checks a comm rank argument.
+func (c *Comm) validRank(r int, wildcardOK bool) error {
+	if wildcardOK && r == AnySource {
+		return nil
+	}
+	if r < 0 || r >= len(c.ranks) {
+		return fmt.Errorf("mpi: rank %d out of range on %d-rank communicator", r, len(c.ranks))
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package mpi
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+)
+
+// Request is a nonblocking operation handle (MPI_Request).
+type Request struct {
+	p      *Proc
+	isSend bool
+	eager  bool
+	msg    *message // send side
+	rr     *recvReq // recv side
+	status Status
+	done   bool
+}
+
+// Isend posts a nonblocking send. The payload of a real-data eager send
+// is snapshotted so the caller may reuse buf immediately, matching MPI's
+// buffered-eager semantics.
+func (c *Comm) Isend(buf Buf, dst, tag int) (*Request, error) {
+	if err := c.validRank(dst, false); err != nil {
+		return nil, err
+	}
+	w := c.p.world
+	eager := w.model.Eager(buf.Len())
+	data := buf
+	if eager {
+		data = buf.clone()
+	}
+	msg := &message{
+		src:       c.p.rank,
+		dst:       c.ranks[dst],
+		commSrc:   c.rank,
+		tag:       tag,
+		data:      data,
+		eager:     eager,
+		postClock: c.p.clock,
+		done:      make(chan sim.Time, 1),
+	}
+	c.p.trace("send", buf.Len(), "")
+	if r := w.match.postSend(c.ctx, msg); r != nil {
+		w.complete(msg, r)
+	}
+	if eager {
+		// The sender pays only its posting overhead and moves on.
+		c.p.advance(w.model.SendOverhead)
+	}
+	return &Request{p: c.p, isSend: true, eager: eager, msg: msg}, nil
+}
+
+// Irecv posts a nonblocking receive.
+func (c *Comm) Irecv(buf Buf, src, tag int) (*Request, error) {
+	if err := c.validRank(src, true); err != nil {
+		return nil, err
+	}
+	srcGlobal := AnySource
+	if src != AnySource {
+		srcGlobal = c.ranks[src]
+	}
+	w := c.p.world
+	rr := &recvReq{
+		src:       src,
+		tag:       tag,
+		srcGlobal: srcGlobal,
+		buf:       buf,
+		postClock: c.p.clock,
+		result:    make(chan recvResult, 1),
+	}
+	if msg := w.match.postRecv(c.ctx, c.p.rank, rr); msg != nil {
+		w.complete(msg, rr)
+	}
+	return &Request{p: c.p, rr: rr}, nil
+}
+
+// Wait blocks until the operation completes and advances the caller's
+// virtual clock to the completion time. For receives it returns the
+// Status.
+func (r *Request) Wait() (Status, error) {
+	if r == nil {
+		return Status{}, errors.New("mpi: Wait on nil request")
+	}
+	if r.done {
+		return r.status, nil
+	}
+	r.done = true
+	abort := r.p.world.abortCh
+	if r.isSend {
+		if r.eager {
+			// Completion time was already charged at post.
+			return Status{}, nil
+		}
+		select {
+		case at := <-r.msg.done:
+			r.p.syncTo(at)
+			return Status{}, nil
+		case <-abort:
+			return Status{}, ErrAborted
+		}
+	}
+	var res recvResult
+	select {
+	case res = <-r.rr.result:
+	case <-abort:
+		return Status{}, ErrAborted
+	}
+	r.p.syncTo(res.at)
+	r.p.trace("recv", res.bytes, "")
+	r.status = Status{Source: res.source, Tag: res.tag, Bytes: res.bytes}
+	return r.status, nil
+}
+
+// Waitall completes a set of requests, returning the first error.
+func Waitall(reqs ...*Request) error {
+	var firstErr error
+	for _, rq := range reqs {
+		if rq == nil {
+			continue
+		}
+		if _, err := rq.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,84 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// Win is an MPI-3 shared-memory window (MPI_Win_allocate_shared). All
+// ranks of a shared-memory communicator contribute a (possibly zero)
+// number of bytes to one contiguous per-node segment; any member can
+// obtain a direct view of any other member's contribution
+// (MPI_Win_shared_query) and access it by load/store.
+//
+// In the paper's allgather (Fig. 4) only the node leader contributes a
+// non-zero size and every child queries the leader's base pointer —
+// exactly the pattern WinAllocateShared + Query support here.
+type Win struct {
+	comm  *Comm
+	base  Buf   // the whole node segment
+	offs  []int // comm rank -> offset into base
+	sizes []int // comm rank -> contributed bytes
+}
+
+// WinAllocateShared collectively allocates a shared segment over a
+// shared-memory communicator; mySize is this rank's contribution in
+// bytes. All members must be on the same node. Like communicator
+// construction, allocation is an untimed one-off (paper Sect. 4.1:
+// "the allocation of the shared-memory segment [is a] one-off").
+func WinAllocateShared(c *Comm, mySize int) (*Win, error) {
+	if c == nil {
+		return nil, fmt.Errorf("mpi: WinAllocateShared on nil communicator")
+	}
+	if mySize < 0 {
+		return nil, fmt.Errorf("mpi: negative window size %d", mySize)
+	}
+	node := c.p.world.topo.NodeOf(c.Global(0))
+	for r := 1; r < c.Size(); r++ {
+		if c.p.world.topo.NodeOf(c.Global(r)) != node {
+			return nil, fmt.Errorf("mpi: WinAllocateShared communicator spans nodes %d and %d",
+				node, c.p.world.topo.NodeOf(c.Global(r)))
+		}
+	}
+
+	vals := c.exchange(mySize)
+	sizes := make([]int, c.Size())
+	offs := make([]int, c.Size())
+	total := 0
+	for r, v := range vals {
+		sizes[r] = v.(int)
+		offs[r] = total
+		total += sizes[r]
+	}
+
+	// Rank 0 allocates the node segment and publishes it; everyone
+	// shares the same backing storage, which is what makes the
+	// hybrid collectives single-copy-per-node by construction.
+	var seg Buf
+	if c.Rank() == 0 {
+		seg = c.p.world.NewBuf(total)
+	}
+	published := c.exchange(seg)
+	seg = published[0].(Buf)
+
+	return &Win{comm: c, base: seg, offs: offs, sizes: sizes}, nil
+}
+
+// Mine returns this rank's contributed segment.
+func (w *Win) Mine() Buf { return w.Query(w.comm.Rank()) }
+
+// Query returns the segment contributed by a comm rank
+// (MPI_Win_shared_query).
+func (w *Win) Query(rank int) Buf {
+	return w.base.Slice(w.offs[rank], w.sizes[rank])
+}
+
+// Whole returns the entire contiguous node segment starting at the
+// lowest rank's base — what the paper's children obtain by querying the
+// leader.
+func (w *Win) Whole() Buf { return w.base }
+
+// Size returns the total segment size in bytes.
+func (w *Win) Size() int { return w.base.Len() }
+
+// Comm returns the shared-memory communicator the window lives on.
+func (w *Win) Comm() *Comm { return w.comm }

@@ -1,0 +1,198 @@
+// Package mpi is an MPI-like message-passing runtime over the simulated
+// cluster of internal/sim. Each rank is a goroutine; communicators,
+// point-to-point messaging, and MPI-3-style shared-memory windows follow
+// the MPI-3 semantics the paper relies on (MPI_Comm_split_type,
+// MPI_Win_allocate_shared, MPI_Win_shared_query, ...), while all timing
+// is virtual and deterministic.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// World owns one simulated job: the topology, the cost model, the
+// message-matching engine, and the per-rank processes.
+type World struct {
+	topo   *sim.Topology
+	model  *sim.CostModel
+	tracer *sim.Tracer
+	real   bool // real data movement (tests) vs size-only (big benches)
+
+	match   *matcher
+	coord   *coordinator
+	nextCtx atomic.Int64
+
+	identity []int // comm rank == global rank table for COMM_WORLD
+	procs    []*Proc
+
+	abortOnce sync.Once
+	abortCh   chan struct{}
+}
+
+// ErrAborted is returned from blocking operations when another rank of
+// the job failed. Real MPI jobs abort globally on rank failure; the
+// simulator mirrors that so one rank's error cannot strand its peers in
+// a barrier forever.
+var ErrAborted = errors.New("mpi: job aborted because another rank failed")
+
+// Abort wakes every blocked operation with ErrAborted. It is invoked
+// automatically when a rank body returns an error or panics; tests use
+// it directly for failure injection. A world stays poisoned after
+// Abort.
+func (w *World) Abort() {
+	w.abortOnce.Do(func() { close(w.abortCh) })
+}
+
+// Aborted reports whether the job was aborted.
+func (w *World) Aborted() bool {
+	select {
+	case <-w.abortCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithRealData makes buffers allocated through World helpers carry real
+// bytes and eager sends snapshot payloads. Tests use this; the big
+// benchmark sweeps do not (see Buf).
+func WithRealData() Option { return func(w *World) { w.real = true } }
+
+// WithTracer attaches an event tracer.
+func WithTracer(t *sim.Tracer) Option { return func(w *World) { w.tracer = t } }
+
+// NewWorld creates a simulated MPI job on the given topology and machine
+// model.
+func NewWorld(model *sim.CostModel, topo *sim.Topology, opts ...Option) (*World, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if topo == nil || topo.Size() == 0 {
+		return nil, errors.New("mpi: nil or empty topology")
+	}
+	w := &World{
+		topo:    topo,
+		model:   model,
+		match:   newMatcher(),
+		coord:   newCoordinator(),
+		abortCh: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	w.match.sizeTo(topo.Size())
+	w.identity = make([]int, topo.Size())
+	w.procs = make([]*Proc, topo.Size())
+	for r := range w.procs {
+		w.identity[r] = r
+		w.procs[r] = &Proc{world: w, rank: r}
+	}
+	return w, nil
+}
+
+// Topology returns the node layout.
+func (w *World) Topology() *sim.Topology { return w.topo }
+
+// Model returns the machine cost model.
+func (w *World) Model() *sim.CostModel { return w.model }
+
+// RealData reports whether buffers carry real bytes.
+func (w *World) RealData() bool { return w.real }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.topo.Size() }
+
+// NewBuf allocates a buffer honoring the world's data mode.
+func (w *World) NewBuf(n int) Buf { return Alloc(n, w.real) }
+
+// newContext issues a fresh communication context id (one per
+// communicator), isolating message matching between communicators.
+func (w *World) newContext() int { return int(w.nextCtx.Add(1)) }
+
+// RankError describes a failure on one rank of a Run.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+// Error implements error.
+func (e *RankError) Error() string { return fmt.Sprintf("rank %d: %v", e.Rank, e.Err) }
+
+// Unwrap exposes the underlying error.
+func (e *RankError) Unwrap() error { return e.Err }
+
+// Run executes body once per rank, each on its own goroutine, and waits
+// for all of them. Panics inside a rank are recovered and reported as
+// that rank's error. The returned error joins every failing rank's
+// error (errors.Join), nil if all ranks succeeded.
+//
+// Run may be called repeatedly on the same World; clocks continue from
+// where the previous Run left them (use ResetClocks between independent
+// measurements).
+func (w *World) Run(body func(p *Proc) error) error {
+	errs := make([]error, w.Size())
+	var wg sync.WaitGroup
+	wg.Add(w.Size())
+	for r := 0; r < w.Size(); r++ {
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					// Coordinator waits signal job aborts by
+					// panicking with ErrAborted; report those
+					// cleanly rather than as crashes.
+					if e, ok := rec.(error); ok && errors.Is(e, ErrAborted) {
+						errs[p.rank] = &RankError{Rank: p.rank, Err: e}
+						return
+					}
+					errs[p.rank] = &RankError{
+						Rank: p.rank,
+						Err:  fmt.Errorf("panic: %v\n%s", rec, debug.Stack()),
+					}
+					w.Abort()
+				}
+			}()
+			if err := body(p); err != nil {
+				errs[p.rank] = &RankError{Rank: p.rank, Err: err}
+				// A failing rank aborts the job, as mpirun
+				// would, so peers blocked in collectives wake
+				// up with ErrAborted instead of hanging.
+				w.Abort()
+			}
+		}(w.procs[r])
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ResetClocks zeroes every rank's virtual clock (between benchmark
+// repetitions).
+func (w *World) ResetClocks() {
+	for _, p := range w.procs {
+		p.clock = 0
+	}
+}
+
+// MaxClock returns the latest clock across ranks — the virtual makespan
+// of everything run so far.
+func (w *World) MaxClock() sim.Time {
+	var max sim.Time
+	for _, p := range w.procs {
+		if p.clock > max {
+			max = p.clock
+		}
+	}
+	return max
+}
+
+// Proc returns the process object for a rank (for post-Run inspection).
+func (w *World) Proc(rank int) *Proc { return w.procs[rank] }

@@ -1,0 +1,65 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// runEP is the embarrassingly-parallel skeleton (NPB EP): each rank
+// generates pseudo-random pairs, counts Gaussian deviates by the
+// Marsaglia polar method, and one allreduce per iteration combines the
+// per-ring counts — almost pure compute with a single small collective,
+// the opposite extreme from FT.
+//
+// Verification (real mode): the acceptance rate of the polar method
+// must approach pi/4, and the combined counts must equal the sum of the
+// per-rank counts (checked through a second, independent reduction).
+func runEP(p *mpi.Proc, cfg Config) (bool, error) {
+	red, err := newAllreducer(p, cfg.Hybrid, 3)
+	if err != nil {
+		return false, err
+	}
+	n := cfg.N
+	rng := p.RNG(4321)
+
+	okAll := true
+	for it := 0; it < cfg.Iters; it++ {
+		accepted, produced := 0, 0
+		if cfg.Verify {
+			for i := 0; i < n; i++ {
+				x := 2*rng.Float64() - 1
+				y := 2*rng.Float64() - 1
+				if x*x+y*y <= 1 {
+					accepted++
+				}
+				produced++
+			}
+		}
+		// ~10 flops per trial pair.
+		p.Compute(float64(10 * n))
+
+		sums, err := red.sum(p, []float64{float64(accepted), float64(produced), 1})
+		if err != nil {
+			return false, err
+		}
+		if cfg.Verify {
+			totalAcc, totalProd, ranks := sums[0], sums[1], sums[2]
+			if int(ranks) != p.Size() {
+				return false, fmt.Errorf("npb: EP rank count reduced to %v", ranks)
+			}
+			if totalProd != float64(p.Size()*n) {
+				return false, fmt.Errorf("npb: EP produced %v, want %d", totalProd, p.Size()*n)
+			}
+			rate := totalAcc / totalProd
+			if math.Abs(rate-math.Pi/4) > 0.05 {
+				okAll = false
+			}
+		}
+	}
+	if cfg.Verify && !okAll {
+		return false, fmt.Errorf("npb: EP acceptance rate off pi/4")
+	}
+	return cfg.Verify, nil
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceStats aggregates a recorded event stream into the quantities an
+// MPI performance engineer would pull from a real trace: message and
+// byte counts per event kind, and the virtual time span.
+type TraceStats struct {
+	Events int
+	Span   Time // last event time - first event time
+	ByKind map[string]KindStats
+}
+
+// KindStats summarizes one event kind.
+type KindStats struct {
+	Count int
+	Bytes int64
+}
+
+// Stats computes aggregate statistics over the tracer's events.
+func (t *Tracer) Stats() TraceStats {
+	events := t.Events()
+	st := TraceStats{ByKind: map[string]KindStats{}, Events: len(events)}
+	if len(events) == 0 {
+		return st
+	}
+	st.Span = events[len(events)-1].At - events[0].At
+	for _, e := range events {
+		k := st.ByKind[e.Kind]
+		k.Count++
+		k.Bytes += int64(e.Bytes)
+		st.ByKind[e.Kind] = k
+	}
+	return st
+}
+
+// Fprint writes the statistics as an aligned table.
+func (s TraceStats) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "trace: %d events over %v\n", s.Events, s.Span); err != nil {
+		return err
+	}
+	kinds := make([]string, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		ks := s.ByKind[k]
+		if _, err := fmt.Fprintf(w, "  %-10s %8d events %12d bytes\n", k, ks.Count, ks.Bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package sim
+
+import "fmt"
+
+// Topology describes how ranks are laid out over nodes. Nodes may hold
+// different numbers of ranks (the paper's Fig. 10 "irregularly populated
+// nodes" case needs exactly that).
+type Topology struct {
+	nodeSizes []int // ranks per node
+	rankNode  []int // global rank -> node index
+	rankLocal []int // global rank -> local (on-node) rank
+	nodeBase  []int // node -> global rank of its first (leader) rank
+	total     int
+}
+
+// NewTopology builds a topology from the number of ranks on each node,
+// with SMP-style placement: ranks 0..nodeSizes[0]-1 on node 0, and so on.
+// This matches the paper's default rank placement assumption (Sect. 4);
+// other placements are layered on top by internal/hybrid using the
+// node-sorted global rank array technique from Sect. 6.
+func NewTopology(nodeSizes []int) (*Topology, error) {
+	if len(nodeSizes) == 0 {
+		return nil, fmt.Errorf("sim: topology needs at least one node")
+	}
+	t := &Topology{
+		nodeSizes: append([]int(nil), nodeSizes...),
+		nodeBase:  make([]int, len(nodeSizes)),
+	}
+	for n, sz := range nodeSizes {
+		if sz <= 0 {
+			return nil, fmt.Errorf("sim: node %d has %d ranks; every node needs at least one", n, sz)
+		}
+		t.nodeBase[n] = t.total
+		for local := 0; local < sz; local++ {
+			t.rankNode = append(t.rankNode, n)
+			t.rankLocal = append(t.rankLocal, local)
+		}
+		t.total += sz
+	}
+	return t, nil
+}
+
+// Uniform builds a regular topology of nodes*ppn ranks.
+func Uniform(nodes, ppn int) (*Topology, error) {
+	if nodes <= 0 || ppn <= 0 {
+		return nil, fmt.Errorf("sim: uniform topology needs nodes>0 and ppn>0, got %d x %d", nodes, ppn)
+	}
+	sizes := make([]int, nodes)
+	for i := range sizes {
+		sizes[i] = ppn
+	}
+	return NewTopology(sizes)
+}
+
+// MustUniform is Uniform for static configurations known to be valid.
+func MustUniform(nodes, ppn int) *Topology {
+	t, err := Uniform(nodes, ppn)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Size returns the total number of ranks.
+func (t *Topology) Size() int { return t.total }
+
+// Nodes returns the number of nodes.
+func (t *Topology) Nodes() int { return len(t.nodeSizes) }
+
+// NodeSize returns the number of ranks on node n.
+func (t *Topology) NodeSize(n int) int { return t.nodeSizes[n] }
+
+// NodeOf returns the node index hosting a global rank.
+func (t *Topology) NodeOf(rank int) int { return t.rankNode[rank] }
+
+// LocalRank returns the on-node rank of a global rank.
+func (t *Topology) LocalRank(rank int) int { return t.rankLocal[rank] }
+
+// NodeLeader returns the global rank of the lowest-ranked process on
+// node n — the paper's leader convention.
+func (t *Topology) NodeLeader(n int) int { return t.nodeBase[n] }
+
+// Hop classifies the path between two global ranks.
+func (t *Topology) Hop(a, b int) HopClass {
+	switch {
+	case a == b:
+		return HopSelf
+	case t.rankNode[a] == t.rankNode[b]:
+		return HopShm
+	default:
+		return HopNet
+	}
+}
+
+// MaxNodeSize returns the largest per-node rank count.
+func (t *Topology) MaxNodeSize() int {
+	max := 0
+	for _, sz := range t.nodeSizes {
+		if sz > max {
+			max = sz
+		}
+	}
+	return max
+}
+
+// String summarizes the topology, e.g. "64x24" or "3 nodes [24 24 16]".
+func (t *Topology) String() string {
+	uniform := true
+	for _, sz := range t.nodeSizes {
+		if sz != t.nodeSizes[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return fmt.Sprintf("%dx%d", len(t.nodeSizes), t.nodeSizes[0])
+	}
+	return fmt.Sprintf("%d nodes %v", len(t.nodeSizes), t.nodeSizes)
+}

@@ -1,0 +1,28 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/hybrid"
+)
+
+// syncFromInt maps an ablation index to a sync flavor.
+func syncFromInt(i int) hybrid.SyncMode {
+	switch i {
+	case 1:
+		return hybrid.SyncP2P
+	case 2:
+		return hybrid.SyncSharedFlags
+	default:
+		return hybrid.SyncBarrier
+	}
+}
+
+func TestSyncFromInt(t *testing.T) {
+	if syncFromInt(0) != hybrid.SyncBarrier ||
+		syncFromInt(1) != hybrid.SyncP2P ||
+		syncFromInt(2) != hybrid.SyncSharedFlags ||
+		syncFromInt(9) != hybrid.SyncBarrier {
+		t.Error("syncFromInt mapping wrong")
+	}
+}
