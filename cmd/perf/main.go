@@ -1,0 +1,87 @@
+// Command perf measures the wall-clock (host time, not virtual time)
+// cost of figure-scale simulator runs and writes a BENCH_*.json report,
+// so the repository carries a perf trajectory across PRs.
+//
+// Usage:
+//
+//	go run ./cmd/perf -out BENCH_PR1.json [-baseline old.json] [-case regexp]
+//
+// With -baseline, the old report's numbers are embedded alongside the
+// new ones and per-case ns/op speedups are computed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this path")
+	baselinePath := flag.String("baseline", "", "compare against a previous report")
+	caseRe := flag.String("case", "", "only run cases matching this regexp")
+	flag.Parse()
+
+	var re *regexp.Regexp
+	if *caseRe != "" {
+		var err error
+		if re, err = regexp.Compile(*caseRe); err != nil {
+			fatal(err)
+		}
+	}
+
+	var baseline *bench.WallReport
+	if *baselinePath != "" {
+		var err error
+		if baseline, err = bench.LoadWallReport(*baselinePath); err != nil {
+			fatal(err)
+		}
+	}
+
+	rep, err := run(re, baseline)
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		if err := rep.WriteWallReport(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func run(re *regexp.Regexp, baseline *bench.WallReport) (*bench.WallReport, error) {
+	var filter func(string) bool
+	if re != nil {
+		filter = re.MatchString
+	}
+	rep, err := bench.RunWallCases(filter)
+	if err != nil {
+		return nil, err
+	}
+	if baseline != nil {
+		rep.CompareTo(baseline)
+	}
+	print(rep)
+	return rep, nil
+}
+
+func print(rep *bench.WallReport) {
+	fmt.Printf("%-28s %14s %12s %12s %8s %10s\n",
+		"case", "ns/op", "allocs/op", "B/op", "peakG", "virtual_us")
+	for _, r := range rep.Results {
+		fmt.Printf("%-28s %14.0f %12.0f %12.0f %8d %10.2f\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.PeakGoroutines, r.VirtualUs)
+		if s, ok := rep.Speedup[r.Name]; ok {
+			fmt.Printf("%-28s %13.2fx vs baseline\n", "", s)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perf:", err)
+	os.Exit(1)
+}

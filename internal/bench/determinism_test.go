@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// The data-plane optimizations (zero-copy buffer views, specialized
+// reduction kernels, pooled matcher records, plan-sharing communicator
+// construction) must not move a single picosecond of virtual time. The
+// golden values below were captured from the pre-refactor tree (PR 1
+// seed plus go.mod only) and pin the virtual makespans of the standard
+// wall-clock workloads, which cover the paper's Fig. 7, 9, 11 and 12
+// scale points plus the p2p engine.
+var goldenVirtualPs = map[string]int64{
+	"p2p/pingpong_2x1_8B":       1_900_960,
+	"fig7/allgather_1x24_e512":  68_697_760,
+	"fig9/allgather_64x24_e512": 5_222_157_840,
+	"fig11/summa_c64_b64":       1_465_384_160,
+	"fig12/bpmf_c120":           222_228_848_646,
+}
+
+func TestVirtualTimeUnchangedByDataPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-scale runs in -short mode")
+	}
+	for _, c := range WallCases() {
+		want, ok := goldenVirtualPs[c.Name]
+		if !ok {
+			t.Errorf("%s: no golden virtual time recorded; add it when adding cases", c.Name)
+			continue
+		}
+		got, err := c.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if int64(got) != want {
+			t.Errorf("%s: virtual makespan %d ps, golden %d ps — the refactor changed virtual time",
+				c.Name, int64(got), want)
+		}
+	}
+}

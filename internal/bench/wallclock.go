@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bpmf"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/summa"
+)
+
+// This file measures *real* (wall-clock) execution speed of the
+// simulator itself, as opposed to the virtual latencies everywhere else
+// in the package. The virtual results are deterministic by design; how
+// many nanoseconds and allocations the host burns to produce them is
+// not, and is exactly what data-plane optimizations change. The
+// harness reports ns/op, allocs/op, bytes/op and the peak goroutine
+// count per figure-scale workload, so that BENCH_*.json files at the
+// repo root can hold successive PRs accountable for the wall-clock
+// trajectory.
+
+// WallCase is one wall-clock workload: a figure-scale run measured in
+// host time. Run executes one operation and returns the virtual
+// makespan so the harness can cross-check determinism between builds.
+type WallCase struct {
+	Name string
+	Run  func() (sim.Time, error)
+}
+
+// WallResult is the measurement of one WallCase.
+type WallResult struct {
+	Name           string  `json:"name"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	BytesPerOp     float64 `json:"bytes_per_op"`
+	PeakGoroutines int     `json:"peak_goroutines"`
+	Iters          int     `json:"iters"`
+	VirtualUs      float64 `json:"virtual_us"`
+}
+
+// WallReport is the JSON document written to BENCH_*.json.
+type WallReport struct {
+	GoVersion string       `json:"go_version"`
+	Results   []WallResult `json:"results"`
+	// Baseline carries the pre-refactor numbers the current results
+	// are compared against (same schema), when a comparison was made.
+	Baseline []WallResult       `json:"baseline,omitempty"`
+	Speedup  map[string]float64 `json:"speedup_ns_per_op,omitempty"`
+}
+
+// WallCases returns the standard wall-clock workload set: the paper's
+// Fig. 7 (one full node), Fig. 9 (64 nodes x 24 ranks — 1536 rank
+// goroutines), and Fig. 11 (SUMMA) scale points, plus a small-message
+// ping-pong that isolates the p2p matcher fast path.
+func WallCases() []WallCase {
+	cray := sim.HazelHenCray()
+	return []WallCase{
+		{
+			Name: "p2p/pingpong_2x1_8B",
+			Run: func() (sim.Time, error) {
+				return PingPong(cray, false, 8, 64)
+			},
+		},
+		{
+			Name: "fig7/allgather_1x24_e512",
+			Run: func() (sim.Time, error) {
+				hy, err := HyAllgatherLatency(cray, []int{CoresPerNode}, 8*512, MicroOpts{})
+				if err != nil {
+					return 0, err
+				}
+				pure, err := PureAllgatherLatency(cray, []int{CoresPerNode}, 8*512, MicroOpts{})
+				if err != nil {
+					return 0, err
+				}
+				return hy + pure, nil
+			},
+		},
+		{
+			Name: "fig9/allgather_64x24_e512",
+			Run: func() (sim.Time, error) {
+				shape := make([]int, 64)
+				for i := range shape {
+					shape[i] = 24
+				}
+				hy, err := HyAllgatherLatency(cray, shape, 8*512, MicroOpts{Iters: 2})
+				if err != nil {
+					return 0, err
+				}
+				pure, err := PureAllgatherLatency(cray, shape, 8*512, MicroOpts{Iters: 2})
+				if err != nil {
+					return 0, err
+				}
+				return hy + pure, nil
+			},
+		},
+		{
+			Name: "fig11/summa_c64_b64",
+			Run: func() (sim.Time, error) {
+				var total sim.Time
+				for _, hy := range []bool{false, true} {
+					topo, err := sim.NewTopology(ShapeFor(64))
+					if err != nil {
+						return 0, err
+					}
+					w, err := mpi.NewWorld(cray, topo)
+					if err != nil {
+						return 0, err
+					}
+					res, err := summa.Run(w, summa.Config{GridDim: 8, BlockDim: 64, Hybrid: hy})
+					if err != nil {
+						return 0, err
+					}
+					total += res.Makespan
+				}
+				return total, nil
+			},
+		},
+		{
+			Name: "fig12/bpmf_c120",
+			Run: func() (sim.Time, error) {
+				topo, err := sim.NewTopology(ShapeFor(120))
+				if err != nil {
+					return 0, err
+				}
+				w, err := mpi.NewWorld(cray, topo)
+				if err != nil {
+					return 0, err
+				}
+				cfg := Fig12Config()
+				cfg.Iters = 4
+				res, err := bpmf.Run(w, cfg)
+				if err != nil {
+					return 0, err
+				}
+				return res.Makespan, nil
+			},
+		},
+	}
+}
+
+// MeasureWall benchmarks one case with the standard library's
+// benchmark loop (so iteration counts self-tune) while sampling the
+// process goroutine count in the background.
+func MeasureWall(c WallCase) (WallResult, error) {
+	var virtual sim.Time
+	var runErr error
+	var peak atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(200 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if n := int64(runtime.NumGoroutine()); n > peak.Load() {
+					peak.Store(n)
+				}
+			}
+		}
+	}()
+
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v, err := c.Run()
+			if err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			virtual = v
+		}
+	})
+	close(stop)
+	wg.Wait()
+	if runErr != nil {
+		return WallResult{}, fmt.Errorf("bench: %s: %w", c.Name, runErr)
+	}
+	return WallResult{
+		Name:           c.Name,
+		NsPerOp:        float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp:    float64(res.AllocsPerOp()),
+		BytesPerOp:     float64(res.AllocedBytesPerOp()),
+		PeakGoroutines: int(peak.Load()),
+		Iters:          res.N,
+		VirtualUs:      virtual.Us(),
+	}, nil
+}
+
+// RunWallCases measures the standard cases (all of them when filter is
+// nil, otherwise those whose name the filter accepts) and assembles the
+// report.
+func RunWallCases(filter func(name string) bool) (*WallReport, error) {
+	rep := &WallReport{GoVersion: runtime.Version()}
+	for _, c := range WallCases() {
+		if filter != nil && !filter(c.Name) {
+			continue
+		}
+		r, err := MeasureWall(c)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	return rep, nil
+}
+
+// CompareTo embeds the baseline's results and computes per-case ns/op
+// speedups against it (baseline ns / current ns, so > 1 means the
+// current build is faster).
+func (rep *WallReport) CompareTo(baseline *WallReport) {
+	rep.Baseline = baseline.Results
+	rep.Speedup = map[string]float64{}
+	byName := map[string]WallResult{}
+	for _, r := range baseline.Results {
+		byName[r.Name] = r
+	}
+	for _, r := range rep.Results {
+		if b, ok := byName[r.Name]; ok && r.NsPerOp > 0 {
+			rep.Speedup[r.Name] = b.NsPerOp / r.NsPerOp
+		}
+	}
+}
+
+// LoadWallReport reads a previously written report.
+func LoadWallReport(path string) (*WallReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep WallReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// WriteWallReport writes the report as indented JSON.
+func (rep *WallReport) WriteWallReport(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

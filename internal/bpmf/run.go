@@ -158,6 +158,7 @@ func runRank(proc *mpi.Proc, cfg Config, ds *Dataset) (Result, error) {
 
 	// Initialize latent rows deterministically (each rank fills its
 	// own block; hybrid writes land directly in the shared segment).
+	rowScratch := make([]float64, cfg.K)
 	for _, ph := range []*phase{items, users} {
 		lo, hi := Share(ph.rows, nRanks, rank)
 		if cfg.Real {
@@ -165,8 +166,9 @@ func runRank(proc *mpi.Proc, cfg Config, ds *Dataset) (Result, error) {
 			for r := lo; r < hi; r++ {
 				rng := rowRNG(cfg.Seed, -1, ph.name, r)
 				for c := 0; c < cfg.K; c++ {
-					blk.PutFloat64((r-lo)*cfg.K+c, 0.3*rng.NormFloat64())
+					rowScratch[c] = 0.3 * rng.NormFloat64()
 				}
+				blk.PutFloat64s((r-lo)*cfg.K, rowScratch)
 			}
 		}
 		// The initial gather distributes the starting matrices.
@@ -193,14 +195,22 @@ func runRank(proc *mpi.Proc, cfg Config, ds *Dataset) (Result, error) {
 	if cfg.Real && rank == 0 {
 		sum := 0.0
 		for _, ph := range []*phase{items, users} {
-			b := ph.buffer()
-			for i := 0; i < b.Len()/8; i++ {
-				sum += b.Float64At(i)
+			for _, x := range f64s(ph.buffer()) {
+				sum += x
 			}
 		}
 		res.Checksum = sum
 	}
 	return res, nil
+}
+
+// f64s returns a zero-copy float64 view of the buffer when one exists,
+// falling back to an unpacking copy (size-only buffers, misalignment).
+func f64s(b mpi.Buf) []float64 {
+	if v := b.Float64sView(); v != nil {
+		return v
+	}
+	return b.Float64s()
 }
 
 // myBlock returns this rank's writable slice of the gathered matrix.
@@ -234,13 +244,18 @@ func samplePhase(proc *mpi.Proc, cfg Config, side, other *phase, iter int, hier 
 	var h hyper
 	var otherVals []float64
 	if cfg.Real {
-		latent := side.buffer().Float64s()
+		latent := f64s(side.buffer())
 		var err error
 		h, err = sampleHyper(latent, side.rows, cfg.K, phaseRNG(cfg.Seed, iter, side.name))
 		if err != nil {
 			return err
 		}
-		otherVals = other.buffer().Float64s()
+		// Reading the gathered matrices through zero-copy views is
+		// safe: `side` reads complete before the ReadFence below, and
+		// no rank writes `other` until its next phase, which every
+		// on-node peer reaches only after this phase's closing
+		// gather.
+		otherVals = f64s(other.buffer())
 	}
 	// Hybrid flavor: everyone reads the shared gathered matrix for
 	// the hyperparameter statistics, and is about to overwrite its
@@ -262,9 +277,7 @@ func samplePhase(proc *mpi.Proc, cfg Config, side, other *phase, iter int, hier 
 			if err != nil {
 				return fmt.Errorf("bpmf: %s row %d: %w", side.name, r, err)
 			}
-			for c, v := range row {
-				blk.PutFloat64((r-lo)*cfg.K+c, v)
-			}
+			blk.PutFloat64s((r-lo)*cfg.K, row)
 		}
 	}
 	proc.Compute(flops)
@@ -278,8 +291,8 @@ func samplePhase(proc *mpi.Proc, cfg Config, side, other *phase, iter int, hier 
 
 // rmse evaluates training RMSE over all materialized entries.
 func rmse(ds *Dataset, userBuf, itemBuf mpi.Buf, k int) float64 {
-	u := userBuf.Float64s()
-	v := itemBuf.Float64s()
+	u := f64s(userBuf)
+	v := f64s(itemBuf)
 	sum, n := 0.0, 0
 	for uu := range ds.UserIdx {
 		urow := rowOf(u, k, uu)

@@ -2,6 +2,7 @@ package coll
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mpi"
 )
@@ -39,43 +40,48 @@ func NewHier(c *mpi.Comm) (*Hier, error) {
 		return nil, err
 	}
 
-	// Gather the per-node shapes (one-off setup metadata).
+	// Gather the per-node shapes (one-off setup metadata). Rank 0
+	// deduplicates and validates once and publishes the shared tables;
+	// each member only locates its own node block.
 	type nodeInfo struct{ base, size, nodeIdx int }
+	type hierPlan struct{ bases, sizes []int }
 	leaderBase := c.Rank() - node.Rank()
-	vals := c.Setup(nodeInfo{base: leaderBase, size: node.Size(), nodeIdx: c.Proc().Node()})
 
 	// Deduplicate per node, ordered by base rank (== bridge order,
-	// since leaders are the lowest ranks and Split orders by key).
-	var bases, sizes []int
-	seen := map[int]bool{}
-	myIdx := -1
-	for r := 0; r < len(vals); r++ {
-		in := vals[r].(nodeInfo)
-		if seen[in.base] {
-			continue
+	// since leaders are the lowest ranks and Split orders by key), and
+	// verify contiguity (SMP placement); nil rejects the placement.
+	build := func(vals []any) *hierPlan {
+		plan := &hierPlan{}
+		lastBase := -1
+		for r := 0; r < len(vals); r++ {
+			in := vals[r].(nodeInfo)
+			if in.base == lastBase {
+				continue
+			}
+			lastBase = in.base
+			if n := len(plan.bases); n > 0 && in.base != plan.bases[n-1]+plan.sizes[n-1] {
+				return nil
+			}
+			plan.bases = append(plan.bases, in.base)
+			plan.sizes = append(plan.sizes, in.size)
 		}
-		seen[in.base] = true
-		bases = append(bases, in.base)
-		sizes = append(sizes, in.size)
+		return plan
 	}
-	// Verify contiguity (SMP placement) and locate my node.
-	for i := range bases {
-		if i > 0 && bases[i] != bases[i-1]+sizes[i-1] {
-			return nil, fmt.Errorf("coll: NewHier needs SMP-style placement; node blocks not contiguous")
-		}
-		if bases[i] == leaderBase {
-			myIdx = i
-		}
+	plan, err := mpi.SharePlan(c,
+		nodeInfo{base: leaderBase, size: node.Size(), nodeIdx: c.Proc().Node()}, build)
+	if err != nil {
+		return nil, fmt.Errorf("coll: NewHier needs SMP-style placement; node blocks not contiguous")
 	}
-	if myIdx < 0 {
+	myIdx := sort.SearchInts(plan.bases, leaderBase)
+	if myIdx >= len(plan.bases) || plan.bases[myIdx] != leaderBase {
 		return nil, fmt.Errorf("coll: NewHier could not locate own node block")
 	}
 	return &Hier{
 		comm:         c,
 		node:         node,
 		bridge:       bridge,
-		nodeBytesIdx: sizes,
-		nodeBase:     bases,
+		nodeBytesIdx: plan.sizes,
+		nodeBase:     plan.bases,
 		myNodeIdx:    myIdx,
 	}, nil
 }
@@ -92,7 +98,8 @@ func (h *Hier) IsLeader() bool { return h.node.Rank() == 0 }
 // Nodes returns the number of nodes under the hierarchy.
 func (h *Hier) Nodes() int { return len(h.nodeBase) }
 
-// NodeCounts returns the number of ranks per node in bridge order.
+// NodeCounts returns the number of ranks per node in bridge order
+// (shared across all ranks; do not modify).
 func (h *Hier) NodeCounts() []int { return h.nodeBytesIdx }
 
 // Allgather is the paper's pure-MPI baseline allgather (Fig. 3a):

@@ -38,15 +38,24 @@ func WithPipelineChunk(chunk int) AllgatherOption {
 }
 
 // NewAllgatherer prepares a hybrid allgather of `per` bytes per rank.
+// The uniform geometry is synthesized directly (no member materializes
+// a full per-rank count vector).
 func (c *Ctx) NewAllgatherer(per int, opts ...AllgatherOption) (*Allgatherer, error) {
 	if per < 0 {
 		return nil, fmt.Errorf("hybrid: negative block size %d", per)
 	}
-	counts := make([]int, c.comm.Size())
-	for i := range counts {
-		counts[i] = per
-	}
-	return c.NewAllgathererV(counts, opts...)
+	return c.newAllgatherer(nil, per, opts)
+}
+
+// agPlan is the slot-ordered allgather geometry, computed once by comm
+// rank 0 and shared read-only by every member (the count vector must
+// agree across members, as MPI_Allgatherv requires, so the leader's
+// copy is everyone's copy).
+type agPlan struct {
+	counts     []int
+	displs     []int
+	nodeCounts []int
+	nodeDispls []int
 }
 
 // NewAllgathererV prepares the irregular variant: counts[r] bytes from
@@ -56,31 +65,71 @@ func (c *Ctx) NewAllgathererV(counts []int, opts ...AllgatherOption) (*Allgather
 	if len(counts) != c.comm.Size() {
 		return nil, fmt.Errorf("hybrid: got %d counts for %d ranks", len(counts), c.comm.Size())
 	}
+	// Validate the local copy on every member (members must pass
+	// matching vectors, but a corrupt local copy should fail loudly on
+	// the rank that holds it, not silently adopt rank 0's geometry).
+	for r, cnt := range counts {
+		if cnt < 0 {
+			return nil, fmt.Errorf("hybrid: negative count %d for rank %d", cnt, r)
+		}
+	}
+	return c.newAllgatherer(counts, 0, opts)
+}
+
+// newAllgatherer builds the allgatherer; counts == nil means a uniform
+// `per` bytes per rank.
+func (c *Ctx) newAllgatherer(counts []int, per int, opts []AllgatherOption) (*Allgatherer, error) {
 	a := &Allgatherer{ctx: c}
 	for _, o := range opts {
 		o(a)
 	}
 
-	// Slot-ordered geometry (node-major layout).
-	a.counts = make([]int, len(counts))
-	for slot := range a.counts {
-		cnt := counts[c.RankAt(slot)]
-		if cnt < 0 {
-			return nil, fmt.Errorf("hybrid: negative count %d for rank %d", cnt, c.RankAt(slot))
+	// Slot-ordered geometry (node-major layout), built once by comm
+	// rank 0 and shared read-only. Unlike the mpi.SharePlan sites,
+	// there is no contribution round: rank 0 computes from its own
+	// arguments, which both constructors have already validated and
+	// which members must pass identically (MPI_Allgatherv semantics),
+	// so this is a publish-only exchange.
+	var plan *agPlan
+	if c.comm.Rank() == 0 {
+		plan = &agPlan{counts: make([]int, c.comm.Size())}
+		for slot := range plan.counts {
+			if counts != nil {
+				plan.counts[slot] = counts[c.RankAt(slot)]
+			} else {
+				plan.counts[slot] = per
+			}
 		}
-		a.counts[slot] = cnt
-	}
-	a.displs = coll.Displs(a.counts)
-
-	a.nodeCounts = make([]int, c.Nodes())
-	a.nodeDispls = make([]int, c.Nodes())
-	for n := 0; n < c.Nodes(); n++ {
-		first := c.nodeFirst[n]
-		a.nodeDispls[n] = a.displs[first]
-		for s := first; s < first+c.nodeSizes[n]; s++ {
-			a.nodeCounts[n] += a.counts[s]
+		plan.displs = coll.Displs(plan.counts)
+		plan.nodeCounts = make([]int, c.Nodes())
+		plan.nodeDispls = make([]int, c.Nodes())
+		for n := 0; n < c.Nodes(); n++ {
+			first := c.nodeFirst[n]
+			plan.nodeDispls[n] = plan.displs[first]
+			for s := first; s < first+c.nodeSizes[n]; s++ {
+				plan.nodeCounts[n] += plan.counts[s]
+			}
 		}
 	}
+	published := c.comm.Setup(plan)
+	plan = published[0].(*agPlan)
+	// Members must have passed the same geometry rank 0 built the plan
+	// from; a divergent local vector is an application bug that must
+	// fail loudly, not silently run with rank 0's placement.
+	for slot, cnt := range plan.counts {
+		want := per
+		if counts != nil {
+			want = counts[c.RankAt(slot)]
+		}
+		if cnt != want {
+			return nil, fmt.Errorf("hybrid: allgather counts diverge across ranks (slot %d: rank 0 has %d, this rank has %d)",
+				slot, cnt, want)
+		}
+	}
+	a.counts = plan.counts
+	a.displs = plan.displs
+	a.nodeCounts = plan.nodeCounts
+	a.nodeDispls = plan.nodeDispls
 
 	// Fig. 4 lines 13-16: only the leader asks for the contiguous
 	// node memory; children query its base.
@@ -118,7 +167,8 @@ func (a *Allgatherer) Block(rank int) mpi.Buf {
 // Block for rank addressing under non-SMP placements).
 func (a *Allgatherer) Buffer() mpi.Buf { return a.buf }
 
-// Counts returns the per-slot byte counts.
+// Counts returns the per-slot byte counts (shared across all ranks;
+// do not modify).
 func (a *Allgatherer) Counts() []int { return a.counts }
 
 // Allgather runs the timed operation of Fig. 4 lines 23-39:

@@ -75,9 +75,56 @@ type Option func(*Ctx)
 // in the paper).
 func WithSync(m SyncMode) Option { return func(c *Ctx) { c.sync = m } }
 
+// ctxPlan is the node-sorted rank geometry of one hybrid context,
+// computed once by comm rank 0 and shared read-only by every member.
+type ctxPlan struct {
+	slotToRank []int
+	rankToSlot []int
+	nodeSizes  []int
+	nodeFirst  []int
+	smp        bool
+}
+
+type ctxEntry struct{ commRank, leaderCommRank, nodeRank int }
+
+func buildCtxPlan(vals []any) *ctxPlan {
+	entries := make([]ctxEntry, len(vals))
+	for i, v := range vals {
+		entries[i] = v.(ctxEntry)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].leaderCommRank != entries[j].leaderCommRank {
+			return entries[i].leaderCommRank < entries[j].leaderCommRank
+		}
+		return entries[i].nodeRank < entries[j].nodeRank
+	})
+
+	plan := &ctxPlan{
+		slotToRank: make([]int, len(entries)),
+		rankToSlot: make([]int, len(entries)),
+		smp:        true,
+	}
+	lastLeader := -1
+	for s, e := range entries {
+		plan.slotToRank[s] = e.commRank
+		plan.rankToSlot[e.commRank] = s
+		if e.commRank != s {
+			plan.smp = false
+		}
+		if e.leaderCommRank != lastLeader {
+			plan.nodeFirst = append(plan.nodeFirst, s)
+			plan.nodeSizes = append(plan.nodeSizes, 0)
+			lastLeader = e.leaderCommRank
+		}
+		plan.nodeSizes[len(plan.nodeSizes)-1]++
+	}
+	return plan
+}
+
 // New builds the hybrid context over a communicator: the two-level
 // communicator split of Fig. 4 lines 2-10 plus the node-sorted rank
-// array. Construction is untimed one-off setup.
+// array. Construction is untimed one-off setup; rank 0 computes the
+// geometry once and publishes it, so per-member work stays O(1).
 func New(comm *mpi.Comm, opts ...Option) (*Ctx, error) {
 	if comm == nil {
 		return nil, fmt.Errorf("hybrid: New on nil communicator")
@@ -97,47 +144,24 @@ func New(comm *mpi.Comm, opts ...Option) (*Ctx, error) {
 
 	// Build the node-sorted global rank array: every rank announces
 	// (its comm rank, its node group identified by the leader's comm
-	// rank, its on-node rank).
-	leaderComm := comm.Size() // computed below; placeholder
-	_ = leaderComm
-	type entry struct{ commRank, leaderCommRank, nodeRank int }
-	// Each member learns its leader's comm rank through the node
-	// communicator first.
+	// rank, its on-node rank). Each member learns its leader's comm
+	// rank through the node communicator first.
 	leaderVals := node.Setup(comm.Rank())
 	myLeaderCommRank := leaderVals[0].(int)
-	vals := comm.Setup(entry{commRank: comm.Rank(), leaderCommRank: myLeaderCommRank, nodeRank: node.Rank()})
-
-	entries := make([]entry, len(vals))
-	for i, v := range vals {
-		entries[i] = v.(entry)
+	plan, err := mpi.SharePlan(comm,
+		ctxEntry{commRank: comm.Rank(), leaderCommRank: myLeaderCommRank, nodeRank: node.Rank()},
+		buildCtxPlan)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: context plan missing: %w", err)
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].leaderCommRank != entries[j].leaderCommRank {
-			return entries[i].leaderCommRank < entries[j].leaderCommRank
-		}
-		return entries[i].nodeRank < entries[j].nodeRank
-	})
-
-	ctx.slotToRank = make([]int, len(entries))
-	ctx.rankToSlot = make([]int, len(entries))
-	ctx.smp = true
-	lastLeader := -1
-	for s, e := range entries {
-		ctx.slotToRank[s] = e.commRank
-		ctx.rankToSlot[e.commRank] = s
-		if e.commRank != s {
-			ctx.smp = false
-		}
-		if e.leaderCommRank != lastLeader {
-			ctx.nodeFirst = append(ctx.nodeFirst, s)
-			ctx.nodeSizes = append(ctx.nodeSizes, 0)
-			lastLeader = e.leaderCommRank
-			if e.leaderCommRank == myLeaderCommRank {
-				ctx.myNodeIdx = len(ctx.nodeSizes) - 1
-			}
-		}
-		ctx.nodeSizes[len(ctx.nodeSizes)-1]++
-	}
+	ctx.slotToRank = plan.slotToRank
+	ctx.rankToSlot = plan.rankToSlot
+	ctx.nodeSizes = plan.nodeSizes
+	ctx.nodeFirst = plan.nodeFirst
+	ctx.smp = plan.smp
+	// My node is the block containing my slot.
+	slot := ctx.rankToSlot[comm.Rank()]
+	ctx.myNodeIdx = sort.SearchInts(ctx.nodeFirst, slot+1) - 1
 	return ctx, nil
 }
 
@@ -156,7 +180,8 @@ func (c *Ctx) IsLeader() bool { return c.node.Rank() == 0 }
 // Nodes returns the number of nodes.
 func (c *Ctx) Nodes() int { return len(c.nodeSizes) }
 
-// NodeSizes returns ranks per node in bridge order.
+// NodeSizes returns ranks per node in bridge order (shared across all
+// ranks; do not modify).
 func (c *Ctx) NodeSizes() []int { return c.nodeSizes }
 
 // SlotOf maps a comm rank to its slot in node-gathered buffers. Under

@@ -112,18 +112,11 @@ func (c *Ctx) releaseFlags() error {
 // untimed coordinator; the *timed* cost is charged explicitly by the
 // callers above. publishClock is called by the signaling side(s),
 // collectClocks by the waiting side; both flavors funnel through one
-// Setup so every member participates exactly once per phase.
+// FuseClocks so every member participates exactly once per phase.
 func (c *Ctx) publishClock() {
-	c.node.Setup(c.node.Proc().Clock())
+	c.node.FuseClocks(c.node.Proc().Clock())
 }
 
 func (c *Ctx) collectClocks() sim.Time {
-	vals := c.node.Setup(c.node.Proc().Clock())
-	var latest sim.Time
-	for _, v := range vals {
-		if t := v.(sim.Time); t > latest {
-			latest = t
-		}
-	}
-	return latest
+	return c.node.FuseClocks(c.node.Proc().Clock())
 }

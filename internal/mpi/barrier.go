@@ -69,13 +69,7 @@ func (c *Comm) isSingleNode() bool {
 // deterministic.
 func (c *Comm) shmBarrier() {
 	p := c.p
-	vals := c.exchange(p.clock)
-	latest := p.clock
-	for _, v := range vals {
-		if t := v.(sim.Time); t > latest {
-			latest = t
-		}
-	}
+	latest := c.FuseClocks(p.clock)
 	rounds := 0
 	for k := 1; k < c.Size(); k <<= 1 {
 		rounds++

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // Buf is a message buffer. It always knows its length; whether it also
@@ -19,6 +20,17 @@ type Buf struct {
 	b []byte
 	n int
 }
+
+// nativeIsLE reports whether the host stores multi-byte words
+// little-endian. The wire format of Buf is little-endian, so on (the
+// overwhelmingly common) little-endian hosts a typed view of the bytes
+// is exactly the element sequence and the per-element codec can be
+// bypassed; on big-endian hosts every typed accessor falls back to the
+// portable byte codec.
+var nativeIsLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
 
 // Bytes wraps a real byte slice as a buffer.
 func Bytes(b []byte) Buf { return Buf{b: b, n: len(b)} }
@@ -75,18 +87,6 @@ func CopyData(dst, src Buf) int {
 	return n
 }
 
-// clone snapshots a buffer for eager sends: real buffers are copied so
-// the sender may immediately reuse its storage, size-only buffers just
-// keep their length.
-func (b Buf) clone() Buf {
-	if b.b == nil {
-		return b
-	}
-	c := make([]byte, b.n)
-	copy(c, b.b)
-	return Bytes(c)
-}
-
 // Float64 element helpers. The collectives and applications store
 // double-precision values (the element type of every experiment in the
 // paper) in little-endian order.
@@ -124,12 +124,73 @@ func (b Buf) Int64At(i int) int64 {
 	return int64(binary.LittleEndian.Uint64(b.b[8*i:]))
 }
 
+// viewOK reports whether the backing bytes can be reinterpreted as a
+// slice of 8-byte elements: real storage, a whole number of elements,
+// native little-endian order, and 8-byte alignment (Slice can produce
+// views at arbitrary byte offsets).
+func (b Buf) viewOK() bool {
+	return b.b != nil && nativeIsLE && b.n >= 8 && b.n%8 == 0 &&
+		uintptr(unsafe.Pointer(&b.b[0]))%8 == 0
+}
+
+// Float64sView returns a zero-copy []float64 aliasing the buffer's
+// first Len()/8 elements, or nil when no such view exists (size-only
+// buffer, empty buffer, misaligned sub-slice, or big-endian host).
+// Writes through the view are writes to the buffer. Callers must keep
+// a per-element or bulk-codec fallback for the nil case.
+func (b Buf) Float64sView() []float64 {
+	if !b.viewOK() {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b.b[0])), b.n/8)
+}
+
+// Int64sView is Float64sView for signed 64-bit integers.
+func (b Buf) Int64sView() []int64 {
+	if !b.viewOK() {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b.b[0])), b.n/8)
+}
+
+// PutFloat64s bulk-stores v starting at element index i. It is
+// equivalent to calling PutFloat64 for each element (including the
+// panic on an out-of-range element span) but goes through one memmove
+// on little-endian hosts. Size-only buffers ignore writes.
+func (b Buf) PutFloat64s(i int, v []float64) {
+	if b.b == nil {
+		return
+	}
+	if dst := b.Float64sView(); dst != nil {
+		copy(dst[i:i+len(v)], v)
+		return
+	}
+	for j, x := range v {
+		b.PutFloat64(i+j, x)
+	}
+}
+
+// CopyFloat64s bulk-loads len(dst) elements starting at element index i
+// into dst, with per-element bounds semantics like PutFloat64s.
+// Size-only buffers yield zeros.
+func (b Buf) CopyFloat64s(dst []float64, i int) {
+	if b.b == nil {
+		clear(dst)
+		return
+	}
+	if src := b.Float64sView(); src != nil {
+		copy(dst, src[i:i+len(dst)])
+		return
+	}
+	for j := range dst {
+		dst[j] = b.Float64At(i + j)
+	}
+}
+
 // FromFloat64s packs a float64 slice into a fresh real buffer.
 func FromFloat64s(v []float64) Buf {
 	b := Bytes(make([]byte, 8*len(v)))
-	for i, x := range v {
-		b.PutFloat64(i, x)
-	}
+	b.PutFloat64s(0, v)
 	return b
 }
 
@@ -137,11 +198,6 @@ func FromFloat64s(v []float64) Buf {
 // Len()/8). Size-only buffers produce zeros.
 func (b Buf) Float64s() []float64 {
 	out := make([]float64, b.n/8)
-	if b.b == nil {
-		return out
-	}
-	for i := range out {
-		out[i] = b.Float64At(i)
-	}
+	b.CopyFloat64s(out, 0)
 	return out
 }

@@ -94,14 +94,20 @@ func TestBufInt64(t *testing.T) {
 	}
 }
 
-func TestBufClone(t *testing.T) {
+func TestBufCloneEager(t *testing.T) {
 	orig := Bytes([]byte{9, 9})
-	c := orig.clone()
+	c, store := cloneEager(orig)
+	if store == nil {
+		t.Error("real clone should carry a pool token")
+	}
 	orig.Raw()[0] = 1
 	if c.Raw()[0] != 9 {
 		t.Error("clone shares storage with original")
 	}
-	m := Sized(8).clone()
+	m, store := cloneEager(Sized(8))
+	if store != nil {
+		t.Error("size-only clone needs no pooled storage")
+	}
 	if m.Real() || m.Len() != 8 {
 		t.Error("size-only clone should stay size-only")
 	}

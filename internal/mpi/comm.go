@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/sim"
 )
 
 // Undefined is the color value that opts a rank out of a Split —
@@ -32,6 +34,7 @@ type Comm struct {
 func (p *Proc) CommWorld() *Comm {
 	if p.commWorld == nil {
 		p.commWorld = &Comm{p: p, ctx: 0, ranks: p.world.identity, rank: p.rank}
+		p.world.match.reserve(0, p.rank)
 	}
 	return p.commWorld
 }
@@ -75,73 +78,131 @@ func (c *Comm) exchange(val any) []any {
 // the same order by all members, like every MPI setup call.
 func (c *Comm) Setup(val any) []any { return c.exchange(val) }
 
+// SharePlan runs the "rank 0 computes, everyone shares" setup pattern
+// used by communicator construction at scale: every member contributes
+// val (an untimed allgather, like Setup); comm rank 0 derives a plan
+// from the full contribution vector; every member receives the same
+// plan to use read-only. A nil plan from build signals a validation
+// failure and surfaces as an error on every member (rank 0 may keep a
+// more precise error of its own). Like Setup, SharePlan must be called
+// collectively and in the same order by all members.
+func SharePlan[T any](c *Comm, val any, build func(vals []any) *T) (*T, error) {
+	vals := c.exchange(val)
+	var plan *T
+	if c.rank == 0 {
+		plan = build(vals)
+	}
+	published := c.exchange(plan)
+	plan, _ = published[0].(*T)
+	if plan == nil {
+		return nil, fmt.Errorf("mpi: setup plan rejected by comm rank 0")
+	}
+	return plan, nil
+}
+
+// FuseClocks performs an untimed max-reduction of the members' virtual
+// clocks. It is the repeatedly-invoked core of the shared-memory
+// synchronization primitives (flag barriers, epoch counters), so unlike
+// Setup it avoids boxing every value through the generic exchange. The
+// timed cost of the modeled synchronization is charged by the caller.
+func (c *Comm) FuseClocks(t sim.Time) sim.Time {
+	key := coordKey{ctx: c.ctx, seq: c.nextSeq()}
+	return c.p.world.coord.fuseClocks(key, len(c.ranks), t, c.p.world.abortCh)
+}
+
 type splitEntry struct {
 	color, key, globalRank, commRank int
+}
+
+// splitGroup is one color's new communicator shape: the context id and
+// the comm-rank -> global-rank table, shared read-only by all members.
+type splitGroup struct {
+	ctx   int
+	ranks []int
+}
+
+// splitPlan is the full partition of one Split call. Parent comm rank 0
+// computes it once and publishes it; every other member only performs
+// two O(1) lookups. (The seed implementation had every rank rebuild and
+// re-sort the whole partition, which dominated setup wall-clock time at
+// Fig. 9 scale — 1536 ranks each doing O(n log n) work per Split.)
+type splitPlan struct {
+	groups []*splitGroup
+	byComm []int32 // parent comm rank -> group index, -1 for Undefined
+	rankIn []int32 // parent comm rank -> rank within the new group
+}
+
+// buildSplitPlan groups the exchanged entries by color (ordering each
+// group by key, then parent rank — MPI_Comm_split) and allocates one
+// context id per color in ascending color order, exactly the assignment
+// order the per-rank implementation used.
+func (w *World) buildSplitPlan(vals []any) *splitPlan {
+	n := len(vals)
+	entries := make([]splitEntry, 0, n)
+	for _, v := range vals {
+		if e := v.(splitEntry); e.color != Undefined {
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.color != b.color {
+			return a.color < b.color
+		}
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.commRank < b.commRank
+	})
+
+	plan := &splitPlan{byComm: make([]int32, n), rankIn: make([]int32, n)}
+	for i := range plan.byComm {
+		plan.byComm[i] = -1
+	}
+	for i := 0; i < len(entries); {
+		j := i
+		for j < len(entries) && entries[j].color == entries[i].color {
+			j++
+		}
+		g := &splitGroup{ctx: w.newContext(), ranks: make([]int, j-i)}
+		gi := int32(len(plan.groups))
+		for k := i; k < j; k++ {
+			g.ranks[k-i] = entries[k].globalRank
+			plan.byComm[entries[k].commRank] = gi
+			plan.rankIn[entries[k].commRank] = int32(k - i)
+		}
+		plan.groups = append(plan.groups, g)
+		i = j
+	}
+	return plan
 }
 
 // Split partitions the communicator by color, ordering each new group
 // by (key, parent rank) — MPI_Comm_split. Ranks passing Undefined
 // receive nil.
 func (c *Comm) Split(color, key int) (*Comm, error) {
-	vals := c.exchange(splitEntry{color: color, key: key, globalRank: c.p.rank, commRank: c.rank})
+	// Comm rank 0 computes the whole partition (group tables and
+	// context ids, which must be identical across members) and
+	// publishes it; everyone else just looks itself up.
+	plan, err := SharePlan(c,
+		splitEntry{color: color, key: key, globalRank: c.p.rank, commRank: c.rank},
+		c.p.world.buildSplitPlan)
+	if err != nil {
+		return nil, err
+	}
 
-	// Collect the distinct colors in deterministic order so every
-	// member assigns the same context ids.
-	entries := make([]splitEntry, 0, len(vals))
-	colorSet := map[int]bool{}
-	var colors []int
-	for _, v := range vals {
-		e := v.(splitEntry)
-		entries = append(entries, e)
-		if e.color != Undefined && !colorSet[e.color] {
-			colorSet[e.color] = true
-			colors = append(colors, e.color)
+	gi := plan.byComm[c.rank]
+	if gi < 0 {
+		if color != Undefined {
+			return nil, fmt.Errorf("mpi: rank %d missing from its own split group", c.p.rank)
 		}
-	}
-	sort.Ints(colors)
-
-	// Comm rank 0 allocates a context id per color and publishes the
-	// assignment; ids must be identical across members.
-	var ctxByColor map[int]int
-	if c.rank == 0 {
-		ctxByColor = make(map[int]int, len(colors))
-		for _, col := range colors {
-			ctxByColor[col] = c.p.world.newContext()
-		}
-	}
-	published := c.exchange(ctxByColor)
-	ctxByColor, _ = published[0].(map[int]int)
-	if ctxByColor == nil && len(colors) > 0 {
-		return nil, fmt.Errorf("mpi: Split context assignment missing")
-	}
-
-	if color == Undefined {
 		return nil, nil
 	}
-	group := make([]splitEntry, 0, len(entries))
-	for _, e := range entries {
-		if e.color == color {
-			group = append(group, e)
-		}
-	}
-	sort.Slice(group, func(i, j int) bool {
-		if group[i].key != group[j].key {
-			return group[i].key < group[j].key
-		}
-		return group[i].commRank < group[j].commRank
-	})
-	ranks := make([]int, len(group))
-	myRank := -1
-	for i, e := range group {
-		ranks[i] = e.globalRank
-		if e.globalRank == c.p.rank {
-			myRank = i
-		}
-	}
-	if myRank < 0 {
-		return nil, fmt.Errorf("mpi: rank %d missing from its own split group", c.p.rank)
-	}
-	return &Comm{p: c.p, ctx: ctxByColor[color], ranks: ranks, rank: myRank}, nil
+	g := plan.groups[gi]
+	// Preallocate this rank's receive-side match queue for the new
+	// context so first use of the communicator doesn't allocate.
+	c.p.world.match.reserve(g.ctx, c.p.rank)
+	return &Comm{p: c.p, ctx: g.ctx, ranks: g.ranks, rank: int(plan.rankIn[c.rank])}, nil
 }
 
 // SplitTypeShared splits the communicator into shared-memory groups, one
@@ -178,13 +239,60 @@ type coordSession struct {
 	done      chan struct{}
 }
 
+// clockSession is the typed sibling of coordSession for FuseClocks:
+// one running max instead of a boxed value vector.
+type clockSession struct {
+	max       sim.Time
+	remaining int
+	released  int
+	done      chan struct{}
+}
+
 type coordinator struct {
 	mu       sync.Mutex
 	sessions map[coordKey]*coordSession
+	clocks   map[coordKey]*clockSession
 }
 
 func newCoordinator() *coordinator {
-	return &coordinator{sessions: map[coordKey]*coordSession{}}
+	return &coordinator{
+		sessions: map[coordKey]*coordSession{},
+		clocks:   map[coordKey]*clockSession{},
+	}
+}
+
+// fuseClocks blocks until all size members of the (ctx, seq) session
+// have contributed their clock, then returns the maximum to each. Abort
+// handling matches exchange.
+func (co *coordinator) fuseClocks(key coordKey, size int, t sim.Time, abort <-chan struct{}) sim.Time {
+	co.mu.Lock()
+	s := co.clocks[key]
+	if s == nil {
+		s = &clockSession{remaining: size, done: make(chan struct{})}
+		co.clocks[key] = s
+	}
+	if t > s.max {
+		s.max = t
+	}
+	s.remaining--
+	if s.remaining == 0 {
+		close(s.done)
+	}
+	co.mu.Unlock()
+
+	select {
+	case <-s.done:
+	case <-abort:
+		panic(ErrAborted)
+	}
+
+	co.mu.Lock()
+	s.released++
+	if s.released == size {
+		delete(co.clocks, key)
+	}
+	co.mu.Unlock()
+	return s.max
 }
 
 // exchange blocks until all size members of the (ctx, seq) session have

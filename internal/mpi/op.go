@@ -41,18 +41,66 @@ func (d Datatype) String() string {
 	}
 }
 
+// opKind tags the standard operators so Apply can dispatch to the
+// datatype-specialized kernels instead of calling a function pointer
+// per element. opCustom (the zero value of an Op built from bare
+// closures) always takes the generic path.
+type opKind int
+
+const (
+	opCustom opKind = iota
+	opSum
+	opProd
+	opMax
+	opMin
+)
+
 // Op is a reduction operator: dst[i] = dst[i] op src[i] for count
 // elements. Size-only buffers reduce to a no-op on data (virtual compute
 // time is charged by the collective, not the operator).
 type Op struct {
 	Name  string
+	kind  opKind
 	f64   func(a, b float64) float64
 	i64   func(a, b int64) int64
 	byteF func(a, b byte) byte
 }
 
-// Apply folds src into dst element-wise.
+// Apply folds src into dst element-wise. The standard operators run
+// datatype-specialized kernels over zero-copy views of the buffers;
+// custom operators (and buffers that cannot expose a typed view) use
+// the generic per-element path, which Apply is bit-for-bit equivalent
+// to (see ApplyGeneric).
 func (o Op) Apply(dst, src Buf, count int, dt Datatype) {
+	if !dst.Real() || !src.Real() {
+		return
+	}
+	if o.kind != opCustom {
+		switch dt {
+		case Float64:
+			d, s := dst.Float64sView(), src.Float64sView()
+			if d != nil && s != nil {
+				o.kernelF64(d[:count], s[:count])
+				return
+			}
+		case Int64:
+			d, s := dst.Int64sView(), src.Int64sView()
+			if d != nil && s != nil {
+				kernelInt(o.kind, d[:count], s[:count])
+				return
+			}
+		case Byte:
+			kernelInt(o.kind, dst.Raw()[:count], src.Raw()[:count])
+			return
+		}
+	}
+	o.ApplyGeneric(dst, src, count, dt)
+}
+
+// ApplyGeneric is the reference implementation: per-element closure
+// dispatch through the portable byte codec. The specialized kernels in
+// Apply must produce byte-identical results; tests assert that.
+func (o Op) ApplyGeneric(dst, src Buf, count int, dt Datatype) {
 	if !dst.Real() || !src.Real() {
 		return
 	}
@@ -73,22 +121,81 @@ func (o Op) Apply(dst, src Buf, count int, dt Datatype) {
 	}
 }
 
+// The specialized kernels. The comparison forms mirror the reference
+// closures exactly (`if a > b { a } else { b }`), so NaN and signed-zero
+// behavior is identical to the generic path — math.Max would not be.
+
+func (o Op) kernelF64(d, s []float64) {
+	switch o.kind {
+	case opSum:
+		for i, x := range s {
+			d[i] += x
+		}
+	case opProd:
+		for i, x := range s {
+			d[i] *= x
+		}
+	case opMax:
+		for i, x := range s {
+			if !(d[i] > x) {
+				d[i] = x
+			}
+		}
+	case opMin:
+		for i, x := range s {
+			if !(d[i] < x) {
+				d[i] = x
+			}
+		}
+	}
+}
+
+// kernelInt serves both integer datatypes: unlike float64, plain
+// comparisons and wrapping arithmetic need no special-case handling.
+func kernelInt[T int64 | byte](kind opKind, d, s []T) {
+	switch kind {
+	case opSum:
+		for i, x := range s {
+			d[i] += x
+		}
+	case opProd:
+		for i, x := range s {
+			d[i] *= x
+		}
+	case opMax:
+		for i, x := range s {
+			if x > d[i] {
+				d[i] = x
+			}
+		}
+	case opMin:
+		for i, x := range s {
+			if x < d[i] {
+				d[i] = x
+			}
+		}
+	}
+}
+
 // The standard reduction operators.
 var (
 	OpSum = Op{
 		Name:  "sum",
+		kind:  opSum,
 		f64:   func(a, b float64) float64 { return a + b },
 		i64:   func(a, b int64) int64 { return a + b },
 		byteF: func(a, b byte) byte { return a + b },
 	}
 	OpProd = Op{
 		Name:  "prod",
+		kind:  opProd,
 		f64:   func(a, b float64) float64 { return a * b },
 		i64:   func(a, b int64) int64 { return a * b },
 		byteF: func(a, b byte) byte { return a * b },
 	}
 	OpMax = Op{
 		Name: "max",
+		kind: opMax,
 		f64: func(a, b float64) float64 {
 			if a > b {
 				return a
@@ -110,6 +217,7 @@ var (
 	}
 	OpMin = Op{
 		Name: "min",
+		kind: opMin,
 		f64: func(a, b float64) float64 {
 			if a < b {
 				return a

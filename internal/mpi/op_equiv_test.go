@@ -1,0 +1,116 @@
+package mpi
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// ops under test: every standard operator must produce byte-identical
+// results through the specialized kernels (Apply) and the per-element
+// reference path (ApplyGeneric).
+var stdOps = []Op{OpSum, OpProd, OpMax, OpMin}
+
+// trickyFloats mixes ordinary values with the cases where a careless
+// kernel (e.g. math.Max) would diverge from the reference closures.
+func trickyFloats(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	specials := []float64{
+		0, math.Copysign(0, -1), 1, -1,
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+	}
+	for i := range out {
+		if rng.Intn(4) == 0 {
+			out[i] = specials[rng.Intn(len(specials))]
+		} else {
+			out[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+		}
+	}
+	return out
+}
+
+func fillBytes(rng *rand.Rand, b Buf, dt Datatype, count int) {
+	switch dt {
+	case Float64:
+		for i, v := range trickyFloats(rng, count) {
+			b.PutFloat64(i, v)
+		}
+	case Int64:
+		for i := 0; i < count; i++ {
+			b.PutInt64(i, rng.Int63()-rng.Int63())
+		}
+	case Byte:
+		rng.Read(b.Raw()[:count])
+	}
+}
+
+// TestOpKernelsMatchGeneric proves the specialized kernels byte-identical
+// to the reference implementation, on aligned buffers (which take the
+// zero-copy view path).
+func TestOpKernelsMatchGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, op := range stdOps {
+		for _, dt := range []Datatype{Float64, Int64, Byte} {
+			for _, count := range []int{0, 1, 3, 17, 256} {
+				n := count * dt.Size()
+				dst := Bytes(make([]byte, n))
+				src := Bytes(make([]byte, n))
+				fillBytes(rng, dst, dt, count)
+				fillBytes(rng, src, dt, count)
+
+				dstRef := Bytes(append([]byte(nil), dst.Raw()...))
+				op.Apply(dst, src, count, dt)
+				op.ApplyGeneric(dstRef, src, count, dt)
+				if !bytes.Equal(dst.Raw(), dstRef.Raw()) {
+					t.Errorf("%s/%s count=%d: specialized kernel diverges from generic path",
+						op.Name, dt, count)
+				}
+			}
+		}
+	}
+}
+
+// TestOpKernelsMatchGenericMisaligned forces the view-less fallback by
+// reducing into 8-byte-element buffers at a 4-byte offset, and checks it
+// still matches a straight generic application.
+func TestOpKernelsMatchGenericMisaligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const count = 32
+	for _, op := range stdOps {
+		for _, dt := range []Datatype{Float64, Int64} {
+			n := count * dt.Size()
+			backing1 := make([]byte, n+8)
+			backing2 := make([]byte, n+8)
+			dst := Bytes(backing1).Slice(4, n)
+			src := Bytes(backing2).Slice(4, n)
+			if dst.Float64sView() != nil {
+				t.Fatalf("expected no typed view at 4-byte offset")
+			}
+			fillBytes(rng, dst, dt, count)
+			fillBytes(rng, src, dt, count)
+
+			dstRef := Bytes(append([]byte(nil), dst.Raw()...))
+			op.Apply(dst, src, count, dt)
+			op.ApplyGeneric(dstRef, src, count, dt)
+			if !bytes.Equal(dst.Raw(), dstRef.Raw()) {
+				t.Errorf("%s/%s misaligned: fallback diverges from generic path", op.Name, dt)
+			}
+		}
+	}
+}
+
+// TestOpApplySizeOnly checks that reductions on size-only buffers stay
+// no-ops in both paths.
+func TestOpApplySizeOnly(t *testing.T) {
+	real := FromFloat64s([]float64{1, 2, 3})
+	OpSum.Apply(Sized(24), real, 3, Float64)
+	OpSum.Apply(real, Sized(24), 3, Float64)
+	OpSum.ApplyGeneric(Sized(24), real, 3, Float64)
+	for i, want := range []float64{1, 2, 3} {
+		if got := real.Float64At(i); got != want {
+			t.Errorf("real buffer mutated by size-only reduction: elem %d = %v", i, got)
+		}
+	}
+}

@@ -27,6 +27,7 @@ type message struct {
 	commSrc   int // sender's comm rank (reported in Status)
 	tag       int
 	data      Buf
+	store     *[]byte // pooled backing of an eager payload snapshot, if any
 	eager     bool
 	flag      bool          // shared-memory flag signal (store/poll, not transport)
 	postClock sim.Time      // sender clock when the send was posted
@@ -49,6 +50,66 @@ type recvResult struct {
 	tag    int
 }
 
+// Object pools for the matcher fast path. A large run posts millions of
+// sends and receives; recycling the request records (each carrying its
+// buffered rendezvous channel) and the eager-send payload snapshots
+// keeps the steady state allocation-free. Pooled channels are reused
+// only after being drained (or, for fire-and-forget eager sends, never
+// written), so a recycled object's channel is always empty.
+var (
+	msgPool = sync.Pool{New: func() any {
+		return &message{done: make(chan sim.Time, 1)}
+	}}
+	recvReqPool = sync.Pool{New: func() any {
+		return &recvReq{result: make(chan recvResult, 1)}
+	}}
+	eagerBytesPool sync.Pool // of *[]byte
+)
+
+func getMessage() *message { return msgPool.Get().(*message) }
+
+// putMessage recycles a message whose done channel is known empty.
+func putMessage(m *message) {
+	m.data = Buf{}
+	m.store = nil
+	msgPool.Put(m)
+}
+
+func getRecvReq() *recvReq { return recvReqPool.Get().(*recvReq) }
+
+// putRecvReq recycles a receive record whose result channel was drained.
+func putRecvReq(r *recvReq) {
+	r.buf = Buf{}
+	recvReqPool.Put(r)
+}
+
+// cloneEager snapshots a real payload into pooled scratch storage so
+// the sender may immediately reuse its buffer. The returned pointer is
+// the pool token to release via putEagerStore once the copy lands;
+// size-only payloads need no snapshot and return nil.
+func cloneEager(b Buf) (Buf, *[]byte) {
+	if !b.Real() {
+		return b, nil
+	}
+	n := b.Len()
+	if p, ok := eagerBytesPool.Get().(*[]byte); ok {
+		// Grow an undersized token in place rather than dropping it:
+		// pooled buffers converge to the largest payload size and
+		// mixed-size workloads stay allocation-free at steady state.
+		if cap(*p) < n {
+			*p = make([]byte, n)
+		}
+		s := (*p)[:n]
+		copy(s, b.Raw())
+		return Bytes(s), p
+	}
+	s := make([]byte, n)
+	copy(s, b.Raw())
+	return Bytes(s), &s
+}
+
+func putEagerStore(p *[]byte) { eagerBytesPool.Put(p) }
+
 // matcher pairs posted sends with posted receives. It is sharded by
 // destination rank so that large jobs do not serialize on one lock.
 type matcher struct {
@@ -57,15 +118,51 @@ type matcher struct {
 
 type matchShard struct {
 	mu    sync.Mutex
-	byCtx map[int]*rankQueue
+	byCtx []*rankQueue // context id -> queue (context ids are small and dense)
+}
+
+// fifo is a head-indexed queue: the overwhelmingly common FIFO match
+// pops the head in O(1) without shifting the slice, and the backing
+// array is reused across the life of the communicator.
+type fifo[T any] struct {
+	items []T
+	head  int
+}
+
+func (q *fifo[T]) push(v T) {
+	if q.head > 0 && len(q.items) == cap(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	q.items = append(q.items, v)
+}
+
+// remove deletes index i (>= head). The head case is O(1); middle
+// deletion (wildcard/tag skips) shifts, which is rare.
+func (q *fifo[T]) remove(i int) {
+	var zero T
+	if i == q.head {
+		q.items[i] = zero
+		q.head++
+		if q.head == len(q.items) {
+			q.items = q.items[:0]
+			q.head = 0
+		}
+		return
+	}
+	copy(q.items[i:], q.items[i+1:])
+	q.items[len(q.items)-1] = zero
+	q.items = q.items[:len(q.items)-1]
 }
 
 // rankQueue holds the unmatched sends and receives targeting one
 // (context, destination) pair, in posting order (MPI's non-overtaking
 // rule).
 type rankQueue struct {
-	sends []*message
-	recvs []*recvReq
+	sends fifo[*message]
+	recvs fifo[*recvReq]
 }
 
 func newMatcher() *matcher { return &matcher{} }
@@ -74,20 +171,43 @@ func (m *matcher) shard(dst int) *matchShard {
 	return &m.shards[dst]
 }
 
-// init sizes the shard table once the world size is known.
+// init sizes the shard table once the world size is known. Queues are
+// created per (shard, context) on first use or via reserve.
 func (m *matcher) sizeTo(n int) {
 	m.shards = make([]matchShard, n)
-	for i := range m.shards {
-		m.shards[i].byCtx = make(map[int]*rankQueue)
-	}
+}
+
+// reserve preallocates the rank queue for a context on one shard. Each
+// rank calls it for its own shard when a communicator is created, so
+// the hot matching path never allocates queue heads.
+func (m *matcher) reserve(ctx, dst int) {
+	s := m.shard(dst)
+	s.mu.Lock()
+	s.queue(ctx)
+	s.mu.Unlock()
 }
 
 func (s *matchShard) queue(ctx int) *rankQueue {
-	q := s.byCtx[ctx]
-	if q == nil {
-		q = &rankQueue{}
-		s.byCtx[ctx] = q
+	if ctx < len(s.byCtx) {
+		if q := s.byCtx[ctx]; q != nil {
+			return q
+		}
+	} else if ctx < cap(s.byCtx) {
+		s.byCtx = s.byCtx[:ctx+1]
+	} else {
+		// Grow with headroom: context ids are issued sequentially,
+		// so exact-fit growth would reallocate on every new
+		// communicator.
+		newCap := 2 * cap(s.byCtx)
+		if newCap < ctx+1 {
+			newCap = ctx + 1
+		}
+		grown := make([]*rankQueue, ctx+1, newCap)
+		copy(grown, s.byCtx)
+		s.byCtx = grown
 	}
+	q := &rankQueue{}
+	s.byCtx[ctx] = q
 	return q
 }
 
@@ -106,13 +226,13 @@ func (m *matcher) postSend(ctx int, msg *message) *recvReq {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	q := s.queue(ctx)
-	for i, r := range q.recvs {
-		if r.matches(msg) {
-			q.recvs = append(q.recvs[:i], q.recvs[i+1:]...)
+	for i := q.recvs.head; i < len(q.recvs.items); i++ {
+		if r := q.recvs.items[i]; r.matches(msg) {
+			q.recvs.remove(i)
 			return r
 		}
 	}
-	q.sends = append(q.sends, msg)
+	q.sends.push(msg)
 	return nil
 }
 
@@ -123,31 +243,37 @@ func (m *matcher) postRecv(ctx, dst int, r *recvReq) *message {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	q := s.queue(ctx)
-	for i, msg := range q.sends {
-		if r.matches(msg) {
-			q.sends = append(q.sends[:i], q.sends[i+1:]...)
+	for i := q.sends.head; i < len(q.sends.items); i++ {
+		if msg := q.sends.items[i]; r.matches(msg) {
+			q.sends.remove(i)
 			return msg
 		}
 	}
-	q.recvs = append(q.recvs, r)
+	q.recvs.push(r)
 	return nil
 }
 
 // complete computes the virtual-time semantics of a matched pair, moves
 // the data, and wakes both sides. Exactly one goroutine calls complete
 // per pair (whichever posted second), so no further locking is needed.
+//
+// Eager messages (including flag signals) are fire-and-forget: the
+// sender already charged its completion at post time and never reads
+// the done channel, so complete owns the message afterwards and
+// recycles it (and any pooled payload snapshot). Rendezvous messages
+// stay live until the sender's wait drains done.
 func (w *World) complete(m *message, r *recvReq) {
 	if m.flag {
 		// Shared-memory flag: the signaler paid one store at post;
 		// the waiter leaves as soon as the store lands, plus one
 		// hot-line load.
 		arrival := m.postClock + w.model.MemAlpha
-		m.done <- m.postClock + w.model.MemAlpha
 		r.result <- recvResult{
 			at:     sim.MaxTime(r.postClock, arrival) + w.model.MemAlpha/4,
 			source: m.commSrc,
 			tag:    m.tag,
 		}
+		putMessage(m)
 		return
 	}
 	class := w.topo.Hop(m.src, m.dst)
@@ -161,7 +287,6 @@ func (w *World) complete(m *message, r *recvReq) {
 		// Sender fired and forgot at post time; the wire delay
 		// runs concurrently with whatever the sender did next.
 		arrival := m.postClock + w.model.SendOverhead + xfer
-		sendDone = m.postClock + w.model.SendOverhead
 		recvDone = sim.MaxTime(r.postClock, arrival) + w.model.RecvOverhead
 	} else {
 		// Rendezvous: the transfer starts when both sides are
@@ -171,8 +296,16 @@ func (w *World) complete(m *message, r *recvReq) {
 		recvDone = sendDone + w.model.RecvOverhead
 	}
 	bytes := CopyData(r.buf, m.data)
-	m.done <- sendDone
-	r.result <- recvResult{at: recvDone, bytes: bytes, source: m.commSrc, tag: m.tag}
+	res := recvResult{at: recvDone, bytes: bytes, source: m.commSrc, tag: m.tag}
+	if m.eager {
+		if m.store != nil {
+			putEagerStore(m.store)
+		}
+		putMessage(m)
+	} else {
+		m.done <- sendDone
+	}
+	r.result <- res
 }
 
 // SendFlag signals a same-node peer through a shared-memory flag: one
@@ -188,7 +321,8 @@ func (c *Comm) SendFlag(dst, tag int) error {
 	if w.topo.Hop(c.p.rank, c.ranks[dst]) == sim.HopNet {
 		return fmt.Errorf("mpi: SendFlag to rank %d on another node", dst)
 	}
-	msg := &message{
+	msg := getMessage()
+	*msg = message{
 		src:       c.p.rank,
 		dst:       c.ranks[dst],
 		commSrc:   c.rank,
@@ -197,7 +331,7 @@ func (c *Comm) SendFlag(dst, tag int) error {
 		eager:     true,
 		flag:      true,
 		postClock: c.p.clock,
-		done:      make(chan sim.Time, 1),
+		done:      msg.done,
 	}
 	if r := w.match.postSend(c.ctx, msg); r != nil {
 		w.complete(msg, r)
@@ -215,11 +349,11 @@ func (c *Comm) RecvFlag(src, tag int) error {
 	if c.p.world.topo.Hop(c.p.rank, c.ranks[src]) == sim.HopNet {
 		return fmt.Errorf("mpi: RecvFlag from rank %d on another node", src)
 	}
-	req, err := c.Irecv(Sized(0), src, tag)
+	rr, err := c.postRecvReq(Sized(0), src, tag)
 	if err != nil {
 		return err
 	}
-	_, err = req.Wait()
+	_, err = c.p.waitRecvReq(rr)
 	return err
 }
 
@@ -228,36 +362,35 @@ func (c *Comm) RecvFlag(src, tag int) error {
 // large messages rendezvous with the matching receive, exactly like the
 // protocols the cost model mimics.
 func (c *Comm) Send(buf Buf, dst, tag int) error {
-	req, err := c.Isend(buf, dst, tag)
-	if err != nil {
+	msg, err := c.postSendMsg(buf, dst, tag)
+	if err != nil || msg == nil {
 		return err
 	}
-	_, err = req.Wait()
-	return err
+	return c.p.waitSendMsg(msg)
 }
 
 // Recv posts a blocking receive. src may be a comm rank or AnySource;
 // tag may be AnyTag.
 func (c *Comm) Recv(buf Buf, src, tag int) (Status, error) {
-	req, err := c.Irecv(buf, src, tag)
+	rr, err := c.postRecvReq(buf, src, tag)
 	if err != nil {
 		return Status{}, err
 	}
-	return req.Wait()
+	return c.p.waitRecvReq(rr)
 }
 
 // Sendrecv posts the receive, then the send, then completes both — the
 // deadlock-free exchange the ring and recursive-doubling collectives are
 // built on.
 func (c *Comm) Sendrecv(sendBuf Buf, dst, sendTag int, recvBuf Buf, src, recvTag int) (Status, error) {
-	rr, err := c.Irecv(recvBuf, src, recvTag)
+	rr, err := c.postRecvReq(recvBuf, src, recvTag)
 	if err != nil {
 		return Status{}, err
 	}
 	if err := c.Send(sendBuf, dst, sendTag); err != nil {
 		return Status{}, err
 	}
-	return rr.Wait()
+	return c.p.waitRecvReq(rr)
 }
 
 // validRank checks a comm rank argument.

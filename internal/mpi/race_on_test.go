@@ -1,0 +1,8 @@
+//go:build race
+
+package mpi
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation allocates and breaks exact
+// allocation-count assertions.
+const raceEnabled = true

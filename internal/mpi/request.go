@@ -1,44 +1,43 @@
 package mpi
 
-import (
-	"errors"
-
-	"repro/internal/sim"
-)
+import "errors"
 
 // Request is a nonblocking operation handle (MPI_Request).
 type Request struct {
 	p      *Proc
 	isSend bool
 	eager  bool
-	msg    *message // send side
+	msg    *message // send side (rendezvous only; eager sends complete at post)
 	rr     *recvReq // recv side
 	status Status
 	done   bool
 }
 
-// Isend posts a nonblocking send. The payload of a real-data eager send
-// is snapshotted so the caller may reuse buf immediately, matching MPI's
-// buffered-eager semantics.
-func (c *Comm) Isend(buf Buf, dst, tag int) (*Request, error) {
+// postSendMsg posts a send and returns the pending message, or nil for
+// an eager send (which completes at post time — the message is owned by
+// the matcher/pool from here on and must not be retained).
+func (c *Comm) postSendMsg(buf Buf, dst, tag int) (*message, error) {
 	if err := c.validRank(dst, false); err != nil {
 		return nil, err
 	}
 	w := c.p.world
 	eager := w.model.Eager(buf.Len())
 	data := buf
+	var store *[]byte
 	if eager {
-		data = buf.clone()
+		data, store = cloneEager(buf)
 	}
-	msg := &message{
+	msg := getMessage()
+	*msg = message{
 		src:       c.p.rank,
 		dst:       c.ranks[dst],
 		commSrc:   c.rank,
 		tag:       tag,
 		data:      data,
+		store:     store,
 		eager:     eager,
 		postClock: c.p.clock,
-		done:      make(chan sim.Time, 1),
+		done:      msg.done,
 	}
 	c.p.trace("send", buf.Len(), "")
 	if r := w.match.postSend(c.ctx, msg); r != nil {
@@ -47,12 +46,14 @@ func (c *Comm) Isend(buf Buf, dst, tag int) (*Request, error) {
 	if eager {
 		// The sender pays only its posting overhead and moves on.
 		c.p.advance(w.model.SendOverhead)
+		return nil, nil
 	}
-	return &Request{p: c.p, isSend: true, eager: eager, msg: msg}, nil
+	return msg, nil
 }
 
-// Irecv posts a nonblocking receive.
-func (c *Comm) Irecv(buf Buf, src, tag int) (*Request, error) {
+// postRecvReq posts a receive and returns the pending record. The
+// caller must hand it to waitRecvReq exactly once (which recycles it).
+func (c *Comm) postRecvReq(buf Buf, src, tag int) (*recvReq, error) {
 	if err := c.validRank(src, true); err != nil {
 		return nil, err
 	}
@@ -61,16 +62,65 @@ func (c *Comm) Irecv(buf Buf, src, tag int) (*Request, error) {
 		srcGlobal = c.ranks[src]
 	}
 	w := c.p.world
-	rr := &recvReq{
+	rr := getRecvReq()
+	*rr = recvReq{
 		src:       src,
 		tag:       tag,
 		srcGlobal: srcGlobal,
 		buf:       buf,
 		postClock: c.p.clock,
-		result:    make(chan recvResult, 1),
+		result:    rr.result,
 	}
 	if msg := w.match.postRecv(c.ctx, c.p.rank, rr); msg != nil {
 		w.complete(msg, rr)
+	}
+	return rr, nil
+}
+
+// waitSendMsg blocks until a rendezvous send completes, advances the
+// clock, and recycles the message.
+func (p *Proc) waitSendMsg(m *message) error {
+	select {
+	case at := <-m.done:
+		p.syncTo(at)
+		putMessage(m)
+		return nil
+	case <-p.world.abortCh:
+		return ErrAborted
+	}
+}
+
+// waitRecvReq blocks until a receive completes, advances the clock, and
+// recycles the record.
+func (p *Proc) waitRecvReq(rr *recvReq) (Status, error) {
+	var res recvResult
+	select {
+	case res = <-rr.result:
+	case <-p.world.abortCh:
+		return Status{}, ErrAborted
+	}
+	putRecvReq(rr)
+	p.syncTo(res.at)
+	p.trace("recv", res.bytes, "")
+	return Status{Source: res.source, Tag: res.tag, Bytes: res.bytes}, nil
+}
+
+// Isend posts a nonblocking send. The payload of a real-data eager send
+// is snapshotted so the caller may reuse buf immediately, matching MPI's
+// buffered-eager semantics.
+func (c *Comm) Isend(buf Buf, dst, tag int) (*Request, error) {
+	msg, err := c.postSendMsg(buf, dst, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{p: c.p, isSend: true, eager: msg == nil, msg: msg}, nil
+}
+
+// Irecv posts a nonblocking receive.
+func (c *Comm) Irecv(buf Buf, src, tag int) (*Request, error) {
+	rr, err := c.postRecvReq(buf, src, tag)
+	if err != nil {
+		return nil, err
 	}
 	return &Request{p: c.p, rr: rr}, nil
 }
@@ -86,29 +136,22 @@ func (r *Request) Wait() (Status, error) {
 		return r.status, nil
 	}
 	r.done = true
-	abort := r.p.world.abortCh
 	if r.isSend {
 		if r.eager {
 			// Completion time was already charged at post.
 			return Status{}, nil
 		}
-		select {
-		case at := <-r.msg.done:
-			r.p.syncTo(at)
-			return Status{}, nil
-		case <-abort:
-			return Status{}, ErrAborted
-		}
+		msg := r.msg
+		r.msg = nil
+		return Status{}, r.p.waitSendMsg(msg)
 	}
-	var res recvResult
-	select {
-	case res = <-r.rr.result:
-	case <-abort:
-		return Status{}, ErrAborted
+	rr := r.rr
+	r.rr = nil
+	st, err := r.p.waitRecvReq(rr)
+	if err != nil {
+		return Status{}, err
 	}
-	r.p.syncTo(res.at)
-	r.p.trace("recv", res.bytes, "")
-	r.status = Status{Source: res.source, Tag: res.tag, Bytes: res.bytes}
+	r.status = st
 	return r.status, nil
 }
 

@@ -148,33 +148,23 @@ func newAllreducer(p *mpi.Proc, hybridMode bool, count int) (*allreducer, error)
 // sum reduces vals element-wise across ranks (returns a fresh slice).
 func (a *allreducer) sum(p *mpi.Proc, vals []float64) ([]float64, error) {
 	if a.hy != nil {
-		mine := a.hy.Mine()
-		for i, v := range vals {
-			mine.PutFloat64(i, v)
-		}
+		a.hy.Mine().PutFloat64s(0, vals)
 		if err := a.hy.Allreduce(mpi.OpSum); err != nil {
 			return nil, err
 		}
 		out := make([]float64, len(vals))
-		res := a.hy.Result()
-		for i := range out {
-			out[i] = res.Float64At(i)
-		}
+		a.hy.Result().CopyFloat64s(out, 0)
 		// Fence reads before the next epoch's writes.
 		if err := a.node.Barrier(); err != nil {
 			return nil, err
 		}
 		return out, nil
 	}
-	for i, v := range vals {
-		a.tmpS.PutFloat64(i, v)
-	}
+	a.tmpS.PutFloat64s(0, vals)
 	if err := coll.Allreduce(a.comm, a.tmpS, a.tmpR, len(vals), mpi.Float64, mpi.OpSum); err != nil {
 		return nil, err
 	}
 	out := make([]float64, len(vals))
-	for i := range out {
-		out[i] = a.tmpR.Float64At(i)
-	}
+	a.tmpR.CopyFloat64s(out, 0)
 	return out, nil
 }

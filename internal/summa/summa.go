@@ -289,17 +289,13 @@ func packMat(dst mpi.Buf, m *la.Mat) {
 	if m == nil || !dst.Real() {
 		return
 	}
-	for i, v := range m.Data {
-		dst.PutFloat64(i, v)
-	}
+	dst.PutFloat64s(0, m.Data)
 }
 
 func unpackMat(src mpi.Buf, b int) *la.Mat {
 	m := la.NewMat(b, b)
 	if src.Real() {
-		for i := range m.Data {
-			m.Data[i] = src.Float64At(i)
-		}
+		src.CopyFloat64s(m.Data, 0)
 	}
 	return m
 }
