@@ -5,9 +5,17 @@
 // Usage:
 //
 //	go run ./cmd/perf -out BENCH_PR1.json [-baseline old.json] [-case regexp]
+//	go run ./cmd/perf -check -baseline BENCH_PR1.json [-case regexp]
+//	go run ./cmd/perf -sweep [-tuning policy=cost,...] -out BENCH_PR2.json
 //
 // With -baseline, the old report's numbers are embedded alongside the
-// new ones and per-case ns/op speedups are computed.
+// new ones and per-case ns/op speedups are computed. With -check, the
+// run becomes a CI perf-regression gate: it exits non-zero when any
+// case is more than -maxslow times slower than the baseline (generous,
+// for noisy CI hosts) or exceeds the strict allocs/op ceiling
+// (allocations are deterministic, so they barely get slack). With
+// -sweep, the report additionally records the collective selection
+// engine's algorithm choices and crossover points per message size.
 package main
 
 import (
@@ -17,12 +25,21 @@ import (
 	"regexp"
 
 	"repro/internal/bench"
+	"repro/internal/coll"
+	"repro/internal/sim"
 )
 
 func main() {
 	out := flag.String("out", "", "write the JSON report to this path")
 	baselinePath := flag.String("baseline", "", "compare against a previous report")
 	caseRe := flag.String("case", "", "only run cases matching this regexp")
+	check := flag.Bool("check", false, "fail (exit 1) on regression vs -baseline")
+	maxSlow := flag.Float64("maxslow", 3.0, "-check: max allowed ns/op slowdown factor")
+	allocSlack := flag.Float64("allocslack", 1.10, "-check: allocs/op ceiling factor over baseline")
+	sweep := flag.Bool("sweep", false, "record the collective algorithm-selection sweep")
+	tuningSpec := flag.String("tuning", "policy=cost",
+		"coll tuning spec for the sweep (see REPRO_COLL_TUNING)")
+	machine := flag.String("machine", "hazelhen-cray", "machine profile for the sweep")
 	flag.Parse()
 
 	var re *regexp.Regexp
@@ -40,16 +57,44 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *check && baseline == nil {
+		fatal(fmt.Errorf("-check needs -baseline"))
+	}
 
 	rep, err := run(re, baseline)
 	if err != nil {
 		fatal(err)
 	}
+
+	if *sweep {
+		tun, err := coll.ParseTuning(*tuningSpec)
+		if err != nil {
+			fatal(err)
+		}
+		mk, ok := sim.Profiles()[*machine]
+		if !ok {
+			fatal(fmt.Errorf("unknown machine %q", *machine))
+		}
+		rep.CollSweep = bench.RunCollSweep(mk(), tun)
+		printSweep(rep.CollSweep)
+	}
+
 	if *out != "" {
 		if err := rep.WriteWallReport(*out); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *check {
+		if violations := rep.CheckAgainst(baseline, *maxSlow, *allocSlack); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "perf regression:", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("perf check passed vs %s (max slowdown %.1fx, alloc slack %.2fx)\n",
+			*baselinePath, *maxSlow, *allocSlack)
 	}
 }
 
@@ -78,6 +123,15 @@ func print(rep *bench.WallReport) {
 		if s, ok := rep.Speedup[r.Name]; ok {
 			fmt.Printf("%-28s %13.2fx vs baseline\n", "", s)
 		}
+	}
+}
+
+func printSweep(s *bench.CollSweepReport) {
+	fmt.Printf("\ncoll-sweep (%s, policy %s): %d points, crossovers:\n",
+		s.Model, s.Policy, len(s.Points))
+	for _, x := range s.Crossovers {
+		fmt.Printf("  %-10s n=%-3d %s: %s -> %s at %d B\n",
+			x.Collective, x.CommSize, x.Hop, x.From, x.To, x.AtBytes)
 	}
 }
 

@@ -53,6 +53,9 @@ type WallReport struct {
 	// are compared against (same schema), when a comparison was made.
 	Baseline []WallResult       `json:"baseline,omitempty"`
 	Speedup  map[string]float64 `json:"speedup_ns_per_op,omitempty"`
+	// CollSweep records the selection engine's algorithm choices and
+	// crossover points (cmd/perf -sweep).
+	CollSweep *CollSweepReport `json:"coll_sweep,omitempty"`
 }
 
 // WallCases returns the standard wall-clock workload set: the paper's
@@ -231,6 +234,38 @@ func (rep *WallReport) CompareTo(baseline *WallReport) {
 			rep.Speedup[r.Name] = b.NsPerOp / r.NsPerOp
 		}
 	}
+}
+
+// CheckAgainst is the perf-regression gate: it compares the current
+// results to a committed baseline and returns one violation string per
+// breach. Wall-clock time gets a generous multiplier (CI machines are
+// noisy and heterogeneous); allocations are deterministic per
+// operation, so they get a strict ceiling — allocSlack covers only
+// benchmark-loop warmup effects. Cases missing on either side are
+// skipped: the gate guards what both builds measure.
+func (rep *WallReport) CheckAgainst(baseline *WallReport, maxSlowdown, allocSlack float64) []string {
+	byName := map[string]WallResult{}
+	for _, b := range baseline.Results {
+		byName[b.Name] = b
+	}
+	var violations []string
+	for _, r := range rep.Results {
+		b, ok := byName[r.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*maxSlowdown {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f ns/op exceeds %.1fx baseline %.0f ns/op",
+				r.Name, r.NsPerOp, maxSlowdown, b.NsPerOp))
+		}
+		if ceiling := b.AllocsPerOp*allocSlack + 16; r.AllocsPerOp > ceiling {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f allocs/op exceeds ceiling %.0f (baseline %.0f)",
+				r.Name, r.AllocsPerOp, ceiling, b.AllocsPerOp))
+		}
+	}
+	return violations
 }
 
 // LoadWallReport reads a previously written report.

@@ -28,23 +28,40 @@ const (
 )
 
 // Allgather gathers per-rank blocks of `per` bytes from every rank into
-// every rank's recv buffer (rank order), selecting the algorithm the way
-// the profile's library would: a logarithmic algorithm (recursive
-// doubling on power-of-two communicators, Bruck otherwise) while the
-// total result is small, the ring algorithm beyond.
+// every rank's recv buffer (rank order). The algorithm is resolved by
+// the selection engine (see registry.go): under the default table
+// policy, a logarithmic algorithm (recursive doubling on power-of-two
+// communicators, Bruck otherwise) while the total result is small, the
+// ring algorithm beyond — the way the profile's library would.
 func Allgather(c *mpi.Comm, send, recv mpi.Buf, per int) error {
 	if err := checkAllgatherArgs(c, send, recv, per); err != nil {
 		return err
 	}
-	total := per * c.Size()
-	tun := c.Proc().Model().Tuning
-	if total <= tun.AllgatherShortMax {
-		if isPow2(c.Size()) {
-			return AllgatherRecDbl(c, send, recv, per)
-		}
-		return AllgatherBruck(c, send, recv, per)
+	en, err := pick(CollAllgather, envFor(c, per, 0), tuningOf(c), false)
+	if err != nil {
+		return err
 	}
-	return AllgatherRing(c, send, recv, per)
+	return en.run.(allgatherFn)(c, send, recv, per)
+}
+
+// AllgatherInPlace runs the allgather with every rank's block already
+// placed at its slot of recv, selecting among the in-place-capable
+// algorithms (Bruck's rotated layout rules it out). The hierarchical
+// baselines use this on their bridge communicators.
+func AllgatherInPlace(c *mpi.Comm, recv mpi.Buf, per int) error {
+	switch {
+	case c == nil:
+		return fmt.Errorf("coll: allgather on nil communicator")
+	case per < 0:
+		return fmt.Errorf("coll: negative block size %d", per)
+	case recv.Len() < per*c.Size():
+		return fmt.Errorf("coll: recv buffer %dB < %d blocks of %dB", recv.Len(), c.Size(), per)
+	}
+	en, err := pick(CollAllgather, envFor(c, per, 0), tuningOf(c), true)
+	if err != nil {
+		return err
+	}
+	return en.runInPlace.(allgatherInPlaceFn)(c, recv, per)
 }
 
 func checkAllgatherArgs(c *mpi.Comm, send, recv mpi.Buf, per int) error {

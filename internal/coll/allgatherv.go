@@ -68,7 +68,10 @@ func Allgatherv(c *mpi.Comm, send, recv mpi.Buf, counts []int) error {
 }
 
 // AllgathervInPlace runs the irregular allgather assuming each rank's
-// block is already placed at its displacement in recv.
+// block is already placed at its displacement in recv. The algorithm
+// is resolved by the selection engine; the v variant only registers
+// the ring and (power-of-two) recursive-doubling runners, mirroring
+// how real libraries under-tune it ([29]).
 func AllgathervInPlace(c *mpi.Comm, recv mpi.Buf, counts []int) error {
 	if err := checkAllgathervArgs(c, recv, counts); err != nil {
 		return err
@@ -77,13 +80,13 @@ func AllgathervInPlace(c *mpi.Comm, recv mpi.Buf, counts []int) error {
 		return nil
 	}
 	p := c.Proc()
-	tun := p.Model().Tuning
 	// The per-call setup: walking the count/displacement vectors.
-	p.Elapse(tun.AllgathervSetup)
-	if Total(counts) <= tun.AllgathervShortMax && isPow2(c.Size()) {
-		return allgathervRecDbl(c, recv, counts)
+	p.Elapse(p.Model().Tuning.AllgathervSetup)
+	en, err := pick(CollAllgatherv, envFor(c, Total(counts), 0), tuningOf(c), true)
+	if err != nil {
+		return err
 	}
-	return allgathervRing(c, recv, counts)
+	return en.runInPlace.(allgathervFn)(c, recv, counts)
 }
 
 // AllgathervExplicit runs the ring allgatherv with caller-provided
@@ -107,8 +110,8 @@ func AllgathervExplicit(c *mpi.Comm, recv mpi.Buf, counts, displs []int) error {
 
 	// When the displacements are an ordinary prefix layout the call is
 	// equivalent to the standard in-place allgatherv and gets the same
-	// algorithm selection (including the logarithmic small-message
-	// path). Genuinely strided layouts always ring.
+	// engine-driven algorithm selection (including the logarithmic
+	// small-message path). Genuinely strided layouts always ring.
 	prefix := true
 	for i := 1; i < n; i++ {
 		if displs[i] != displs[i-1]+counts[i-1] {
@@ -116,9 +119,8 @@ func AllgathervExplicit(c *mpi.Comm, recv mpi.Buf, counts, displs []int) error {
 			break
 		}
 	}
-	if prefix && displs[0] == 0 && Total(counts) <= tun.AllgathervShortMax && isPow2(n) {
-		p.Elapse(tun.AllgathervSetup)
-		return allgathervRecDbl(c, recv, counts)
+	if prefix && displs[0] == 0 {
+		return AllgathervInPlace(c, recv, counts)
 	}
 
 	p.Elapse(tun.AllgathervSetup)

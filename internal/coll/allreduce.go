@@ -8,17 +8,18 @@ import (
 
 // Allreduce reduces count elements of type dt with op across all ranks,
 // leaving the result on every rank in recv. send and recv hold count
-// elements each. Algorithm selection follows MPICH: recursive doubling
-// for short messages, Rabenseifner's reduce-scatter + allgather beyond.
+// elements each. The algorithm is resolved by the selection engine;
+// the default table policy follows MPICH: recursive doubling for short
+// messages, Rabenseifner's reduce-scatter + allgather beyond.
 func Allreduce(c *mpi.Comm, send, recv mpi.Buf, count int, dt mpi.Datatype, op mpi.Op) error {
 	if err := checkReduceArgs(c, send, recv, count, dt); err != nil {
 		return err
 	}
-	bytes := count * dt.Size()
-	if bytes <= c.Proc().Model().Tuning.AllreduceShortMax || count < c.Size() {
-		return AllreduceRecDbl(c, send, recv, count, dt, op)
+	en, err := pick(CollAllreduce, envFor(c, count*dt.Size(), count), tuningOf(c), false)
+	if err != nil {
+		return err
 	}
-	return AllreduceRabenseifner(c, send, recv, count, dt, op)
+	return en.run.(allreduceFn)(c, send, recv, count, dt, op)
 }
 
 func checkReduceArgs(c *mpi.Comm, send, recv mpi.Buf, count int, dt mpi.Datatype) error {

@@ -6,11 +6,7 @@ import (
 	"repro/internal/mpi"
 )
 
-// Alltoall performs the complete exchange: rank i's j-th send block of
-// `per` bytes lands in rank j's recv buffer at block i. The pairwise
-// exchange algorithm runs n-1 balanced steps (XOR pairing on
-// power-of-two sizes, shifted pairing otherwise).
-func Alltoall(c *mpi.Comm, send, recv mpi.Buf, per int) error {
+func checkAlltoallArgs(c *mpi.Comm, send, recv mpi.Buf, per int) error {
 	switch {
 	case c == nil:
 		return fmt.Errorf("coll: alltoall on nil communicator")
@@ -18,6 +14,29 @@ func Alltoall(c *mpi.Comm, send, recv mpi.Buf, per int) error {
 		return fmt.Errorf("coll: alltoall negative block size")
 	case send.Len() < per*c.Size() || recv.Len() < per*c.Size():
 		return fmt.Errorf("coll: alltoall buffers too small for %d x %dB", c.Size(), per)
+	}
+	return nil
+}
+
+// Alltoall performs the complete exchange: rank i's j-th send block of
+// `per` bytes lands in rank j's recv buffer at block i. The algorithm
+// is resolved by the selection engine.
+func Alltoall(c *mpi.Comm, send, recv mpi.Buf, per int) error {
+	if err := checkAlltoallArgs(c, send, recv, per); err != nil {
+		return err
+	}
+	en, err := pick(CollAlltoall, envFor(c, per, 0), tuningOf(c), false)
+	if err != nil {
+		return err
+	}
+	return en.run.(alltoallFn)(c, send, recv, per)
+}
+
+// AlltoallPairwise is the pairwise exchange algorithm: n-1 balanced
+// steps (XOR pairing on power-of-two sizes, shifted pairing otherwise).
+func AlltoallPairwise(c *mpi.Comm, send, recv mpi.Buf, per int) error {
+	if err := checkAlltoallArgs(c, send, recv, per); err != nil {
+		return err
 	}
 	n := c.Size()
 	rank := c.Rank()
@@ -43,10 +62,25 @@ func Alltoall(c *mpi.Comm, send, recv mpi.Buf, per int) error {
 	return nil
 }
 
-// Reduce folds count elements onto root with a binomial tree,
-// accumulating partial results on the way up (commutative ops only,
-// like every op in internal/mpi).
+// Reduce folds count elements onto root (commutative ops only, like
+// every op in internal/mpi). The algorithm is resolved by the
+// selection engine.
 func Reduce(c *mpi.Comm, send, recv mpi.Buf, count int, dt mpi.Datatype, op mpi.Op, root int) error {
+	if err := checkRootArgs(c, root); err != nil {
+		return err
+	}
+	if err := checkReduceArgs(c, send, send, count, dt); err != nil {
+		return err
+	}
+	en, err := pick(CollReduce, envFor(c, count*dt.Size(), count), tuningOf(c), false)
+	if err != nil {
+		return err
+	}
+	return en.run.(reduceFn)(c, send, recv, count, dt, op, root)
+}
+
+// ReduceBinomial accumulates partial results up a binomial tree.
+func ReduceBinomial(c *mpi.Comm, send, recv mpi.Buf, count int, dt mpi.Datatype, op mpi.Op, root int) error {
 	if err := checkRootArgs(c, root); err != nil {
 		return err
 	}
@@ -89,9 +123,20 @@ func Reduce(c *mpi.Comm, send, recv mpi.Buf, count int, dt mpi.Datatype, op mpi.
 	return nil
 }
 
-// Barrier synchronizes the communicator with the dissemination
-// algorithm (the runtime's native barrier).
-func Barrier(c *mpi.Comm) error { return c.Barrier() }
+// Barrier synchronizes the communicator. The algorithm is resolved by
+// the selection engine: the runtime's native dissemination barrier
+// (with its shared-memory fast path) by default, the central-counter
+// ablation when forced or when the cost policy prefers it.
+func Barrier(c *mpi.Comm) error {
+	if c == nil {
+		return fmt.Errorf("coll: barrier on nil communicator")
+	}
+	en, err := pick(CollBarrier, envFor(c, 0, 0), tuningOf(c), false)
+	if err != nil {
+		return err
+	}
+	return en.run.(barrierFn)(c)
+}
 
 // BarrierCentral is the naive central-counter barrier: gather
 // zero-byte tokens at rank 0, then broadcast a release. It exists as an

@@ -6,7 +6,8 @@ import (
 	"repro/internal/mpi"
 )
 
-// Bcast broadcasts root's buffer to every rank, selecting the algorithm
+// Bcast broadcasts root's buffer to every rank. The algorithm is
+// resolved by the selection engine; the default table policy selects
 // by message size the way the profile's library would: binomial tree
 // for short messages, scatter+ring-allgather for medium, and a chained
 // pipeline for very large payloads.
@@ -14,15 +15,11 @@ func Bcast(c *mpi.Comm, buf mpi.Buf, root int) error {
 	if err := checkBcastArgs(c, buf, root); err != nil {
 		return err
 	}
-	tun := c.Proc().Model().Tuning
-	switch {
-	case buf.Len() <= tun.BcastShortMax || c.Size() <= 2:
-		return BcastBinomial(c, buf, root)
-	case buf.Len() >= tun.BcastPipelineMin:
-		return BcastPipelined(c, buf, root, tun.BcastChunk)
-	default:
-		return BcastScatterAllgather(c, buf, root)
+	en, err := pick(CollBcast, envFor(c, buf.Len(), 0), tuningOf(c), false)
+	if err != nil {
+		return err
 	}
+	return en.run.(bcastFn)(c, buf, root)
 }
 
 func checkBcastArgs(c *mpi.Comm, buf mpi.Buf, root int) error {
@@ -109,9 +106,21 @@ func BcastScatterAllgather(c *mpi.Comm, buf mpi.Buf, root int) error {
 		return nil
 	}
 	total := buf.Len()
+	if total == 0 {
+		// No payload to scatter; the zero-byte tree still broadcasts.
+		return BcastBinomial(c, buf, root)
+	}
 	per, counts := bcastPieces(total, n)
 	rel := (c.Rank() - root + n) % n
 	absRank := func(r int) int { return (r + root) % n }
+	// pieceOff clamps a relative piece's offset to the payload end, so
+	// empty tail pieces (payloads smaller than n*per) slice validly.
+	pieceOff := func(i int) int {
+		if o := i * per; o < total {
+			return o
+		}
+		return total
+	}
 
 	// Phase 1: binomial scatter. Every rank ends up holding its own
 	// relative piece; interior tree nodes transiently hold their
@@ -163,8 +172,8 @@ func BcastScatterAllgather(c *mpi.Comm, buf mpi.Buf, root int) error {
 		sendIdx := (rel - i + n) % n
 		recvIdx := (rel - i - 1 + n) % n
 		_, err := c.Sendrecv(
-			buf.Slice(sendIdx*per, counts[sendIdx]), right, tagBcast,
-			buf.Slice(recvIdx*per, counts[recvIdx]), left, tagBcast,
+			buf.Slice(pieceOff(sendIdx), counts[sendIdx]), right, tagBcast,
+			buf.Slice(pieceOff(recvIdx), counts[recvIdx]), left, tagBcast,
 		)
 		if err != nil {
 			return fmt.Errorf("coll: bcast allgather step %d: %w", i, err)

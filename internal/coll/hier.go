@@ -128,7 +128,7 @@ func (h *Hier) Allgather(send, recv mpi.Buf, per int) error {
 	if h.bridge != nil && h.bridge.Size() > 1 {
 		if uniform(h.nodeBytesIdx) {
 			blk := h.nodeBytesIdx[0] * per
-			if err := allgatherBridgeInPlace(h.bridge, recv, blk); err != nil {
+			if err := AllgatherInPlace(h.bridge, recv, blk); err != nil {
 				return fmt.Errorf("coll: hier allgather bridge phase: %w", err)
 			}
 		} else {
@@ -145,17 +145,6 @@ func (h *Hier) Allgather(send, recv mpi.Buf, per int) error {
 		return fmt.Errorf("coll: hier allgather bcast phase: %w", err)
 	}
 	return nil
-}
-
-// allgatherBridgeInPlace runs the tuned allgather with each leader's
-// node block already placed at its slot.
-func allgatherBridgeInPlace(bridge *mpi.Comm, recv mpi.Buf, blk int) error {
-	total := blk * bridge.Size()
-	tun := bridge.Proc().Model().Tuning
-	if total <= tun.AllgatherShortMax && isPow2(bridge.Size()) {
-		return allgatherRecDblInPlace(bridge, recv, blk)
-	}
-	return allgatherRingInPlace(bridge, recv, blk)
 }
 
 func allgatherRingInPlace(c *mpi.Comm, recv mpi.Buf, per int) error {

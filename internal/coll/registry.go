@@ -1,0 +1,447 @@
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// This file is the collective selection engine: a registry enumerating
+// every algorithm the package implements per collective, each with an
+// applicability predicate and an alpha-beta-gamma cost estimate, plus
+// the two selection policies (the profile's static cutoff table and
+// the cost-model minimizer) that every entry point routes through.
+
+// Collective identifies one collective operation family in the
+// registry and in Tuning.Force keys.
+type Collective int
+
+const (
+	CollAllgather Collective = iota
+	CollAllgatherv
+	CollAllreduce
+	CollReduce
+	CollBcast
+	CollBarrier
+	CollAlltoall
+	numCollectives
+)
+
+// String names the collective as accepted by ParseTuning.
+func (cl Collective) String() string {
+	switch cl {
+	case CollAllgather:
+		return "allgather"
+	case CollAllgatherv:
+		return "allgatherv"
+	case CollAllreduce:
+		return "allreduce"
+	case CollReduce:
+		return "reduce"
+	case CollBcast:
+		return "bcast"
+	case CollBarrier:
+		return "barrier"
+	case CollAlltoall:
+		return "alltoall"
+	default:
+		return fmt.Sprintf("Collective(%d)", int(cl))
+	}
+}
+
+// ParseCollective is the inverse of String.
+func ParseCollective(s string) (Collective, error) {
+	for cl := Collective(0); cl < numCollectives; cl++ {
+		if cl.String() == s {
+			return cl, nil
+		}
+	}
+	return 0, fmt.Errorf("coll: unknown collective %q", s)
+}
+
+// Env describes one collective invocation for selection purposes: the
+// communicator size, the payload, and which hop class dominates the
+// exchange (shared memory on single-node communicators, the network
+// otherwise). Bytes is the per-rank block for Allgather/Alltoall and
+// the total payload for the other collectives; Count is the element
+// count of the reducing collectives (their gamma term).
+type Env struct {
+	Size  int
+	Bytes int
+	Count int
+	Model *sim.CostModel
+	Hop   sim.HopClass
+}
+
+// envFor derives the selection environment of a call on a communicator.
+func envFor(c *mpi.Comm, bytes, count int) Env {
+	hop := sim.HopNet
+	if c.SingleNode() {
+		hop = sim.HopShm
+	}
+	return Env{Size: c.Size(), Bytes: bytes, Count: count, Model: c.Proc().Model(), Hop: hop}
+}
+
+// Runner signatures per collective family.
+type (
+	allgatherFn        = func(*mpi.Comm, mpi.Buf, mpi.Buf, int) error
+	allgatherInPlaceFn = func(*mpi.Comm, mpi.Buf, int) error
+	allgathervFn       = func(*mpi.Comm, mpi.Buf, []int) error
+	allreduceFn        = func(*mpi.Comm, mpi.Buf, mpi.Buf, int, mpi.Datatype, mpi.Op) error
+	reduceFn           = func(*mpi.Comm, mpi.Buf, mpi.Buf, int, mpi.Datatype, mpi.Op, int) error
+	bcastFn            = func(*mpi.Comm, mpi.Buf, int) error
+	barrierFn          = func(*mpi.Comm) error
+	alltoallFn         = func(*mpi.Comm, mpi.Buf, mpi.Buf, int) error
+)
+
+// entry is one registered algorithm.
+type entry struct {
+	name    string
+	applies func(Env) bool     // nil = always applicable
+	cost    func(Env) sim.Time // alpha-beta-gamma estimate (PolicyCost)
+
+	run        any // full runner (signature per family), nil if in-place only
+	runInPlace any // in-place runner, nil when unavailable
+}
+
+// Cost-term helpers. The estimates intentionally mirror the textbook
+// LogGP expressions the algorithm comments cite, not the simulator's
+// exact event timeline: they only need to rank algorithms the way the
+// real formulas do, so crossovers land where the literature puts them.
+func alphaT(e Env) sim.Time { return e.Model.Alpha(e.Hop) }
+
+func betaT(e Env, n int) sim.Time {
+	if n < 0 {
+		n = 0
+	}
+	return sim.Time(int64(n) * e.Model.BetaPsPerByte(e.Hop))
+}
+
+func gammaT(e Env, elems int) sim.Time { return e.Model.ComputeCost(float64(elems)) }
+
+func timesT(k int, t sim.Time) sim.Time { return sim.Time(int64(k)) * t }
+
+// bisection is the contention multiplier the estimates charge on the
+// bandwidth term of doubling-distance algorithms (recursive doubling,
+// Bruck): their later steps move half the result across the network
+// bisection, where links are shared, while ring and neighbor exchange
+// stay near-neighbor at full per-link bandwidth. This is the standard
+// reason libraries cross over to ring for large totals; without it the
+// logarithmic algorithms would win at every size on paper.
+const bisection = 2
+
+// registry holds every algorithm in registration order (the
+// deterministic tie-break of PolicyCost).
+var registry = [numCollectives][]entry{
+	CollAllgather: {
+		{
+			name:    "recdbl",
+			applies: func(e Env) bool { return isPow2(e.Size) },
+			cost: func(e Env) sim.Time {
+				return timesT(sim.Log2Ceil(e.Size), alphaT(e)) +
+					timesT(bisection, betaT(e, (e.Size-1)*e.Bytes))
+			},
+			run:        allgatherFn(AllgatherRecDbl),
+			runInPlace: allgatherInPlaceFn(allgatherRecDblInPlace),
+		},
+		{
+			name: "bruck",
+			cost: func(e Env) sim.Time {
+				return timesT(sim.Log2Ceil(e.Size), alphaT(e)) +
+					timesT(bisection, betaT(e, (e.Size-1)*e.Bytes)) +
+					e.Model.CopyCost(e.Size*e.Bytes, 1)
+			},
+			run: allgatherFn(AllgatherBruck),
+		},
+		{
+			name: "ring",
+			cost: func(e Env) sim.Time {
+				return timesT(e.Size-1, alphaT(e)+betaT(e, e.Bytes))
+			},
+			run:        allgatherFn(AllgatherRing),
+			runInPlace: allgatherInPlaceFn(allgatherRingInPlace),
+		},
+		{
+			name:    "neighbor",
+			applies: func(e Env) bool { return e.Size%2 == 0 },
+			cost: func(e Env) sim.Time {
+				// n/2 pairwise steps, each exchanging two blocks:
+				// half the ring's latency, one extra block of
+				// bandwidth.
+				return timesT(e.Size/2, alphaT(e)) + betaT(e, e.Size*e.Bytes)
+			},
+			run: allgatherFn(AllgatherNeighbor),
+		},
+	},
+	CollAllgatherv: {
+		{
+			name:    "recdbl",
+			applies: func(e Env) bool { return isPow2(e.Size) },
+			cost: func(e Env) sim.Time {
+				steps := sim.Log2Ceil(e.Size)
+				return timesT(steps, alphaT(e)+e.Model.Tuning.AllgathervStepPenalty) +
+					timesT(bisection, betaT(e, e.Bytes-e.Bytes/max(e.Size, 1)))
+			},
+			runInPlace: allgathervFn(allgathervRecDbl),
+		},
+		{
+			name: "ring",
+			cost: func(e Env) sim.Time {
+				return timesT(e.Size-1, alphaT(e)+e.Model.Tuning.AllgathervStepPenalty) +
+					betaT(e, e.Bytes-e.Bytes/max(e.Size, 1))
+			},
+			runInPlace: allgathervFn(allgathervRing),
+		},
+	},
+	CollAllreduce: {
+		{
+			name: "recdbl",
+			cost: func(e Env) sim.Time {
+				steps := sim.Log2Ceil(e.Size)
+				return timesT(steps, alphaT(e)+betaT(e, e.Bytes)) + gammaT(e, e.Count*steps)
+			},
+			run: allreduceFn(AllreduceRecDbl),
+		},
+		{
+			name: "rabenseifner",
+			applies: func(e Env) bool {
+				pof2, _ := foldCore(e.Size)
+				return e.Count >= pof2
+			},
+			cost: func(e Env) sim.Time {
+				n := e.Size
+				moved := 2 * e.Bytes * (n - 1) / max(n, 1)
+				return timesT(2*sim.Log2Ceil(n), alphaT(e)) + betaT(e, moved) +
+					gammaT(e, e.Count*(n-1)/max(n, 1))
+			},
+			run: allreduceFn(AllreduceRabenseifner),
+		},
+	},
+	CollReduce: {
+		{
+			name: "binomial",
+			cost: func(e Env) sim.Time {
+				steps := sim.Log2Ceil(e.Size)
+				return timesT(steps, alphaT(e)+betaT(e, e.Bytes)) + gammaT(e, e.Count*steps)
+			},
+			run: reduceFn(ReduceBinomial),
+		},
+	},
+	CollBcast: {
+		{
+			name: "binomial",
+			cost: func(e Env) sim.Time {
+				return timesT(sim.Log2Ceil(e.Size), alphaT(e)+betaT(e, e.Bytes))
+			},
+			run: bcastFn(BcastBinomial),
+		},
+		{
+			name: "scag",
+			cost: func(e Env) sim.Time {
+				n := e.Size
+				return timesT(sim.Log2Ceil(n)+n-1, alphaT(e)) +
+					betaT(e, 2*e.Bytes*(n-1)/max(n, 1))
+			},
+			run: bcastFn(BcastScatterAllgather),
+		},
+		{
+			name: "pipelined",
+			cost: func(e Env) sim.Time {
+				chunk := e.Model.Tuning.BcastChunk
+				if chunk <= 0 {
+					chunk = 64 << 10
+				}
+				chunks := (e.Bytes + chunk - 1) / chunk
+				if chunks < 1 {
+					chunks = 1
+				}
+				return timesT(e.Size-1+chunks, alphaT(e)+betaT(e, chunk))
+			},
+			run: bcastFn(func(c *mpi.Comm, buf mpi.Buf, root int) error {
+				return BcastPipelined(c, buf, root, c.Proc().Model().Tuning.BcastChunk)
+			}),
+		},
+	},
+	CollBarrier: {
+		{
+			name: "dissemination",
+			cost: func(e Env) sim.Time {
+				rounds := sim.Log2Ceil(e.Size)
+				if e.Hop == sim.HopShm {
+					// The native barrier's single-node fast path:
+					// flag-based rounds of two cache-line operations.
+					return timesT(rounds, 2*e.Model.MemAlpha)
+				}
+				return timesT(rounds, alphaT(e))
+			},
+			run: barrierFn(func(c *mpi.Comm) error { return c.Barrier() }),
+		},
+		{
+			name: "central",
+			cost: func(e Env) sim.Time {
+				return timesT(2*(e.Size-1), alphaT(e))
+			},
+			run: barrierFn(BarrierCentral),
+		},
+	},
+	CollAlltoall: {
+		{
+			name: "pairwise",
+			cost: func(e Env) sim.Time {
+				return timesT(e.Size-1, alphaT(e)+betaT(e, e.Bytes))
+			},
+			run: alltoallFn(AlltoallPairwise),
+		},
+	},
+}
+
+// tableChoice is the PolicyTable decision function: the historical
+// hard-wired cutoffs of the machine profile's tuning table, collected
+// in one place. It must keep returning exactly what the pre-registry
+// entry points chose — the determinism golden tests pin that.
+func tableChoice(cl Collective, e Env, inPlace bool) string {
+	tun := &e.Model.Tuning
+	switch cl {
+	case CollAllgather:
+		if e.Size*e.Bytes <= tun.AllgatherShortMax {
+			if isPow2(e.Size) {
+				return "recdbl"
+			}
+			if !inPlace {
+				return "bruck"
+			}
+		}
+		return "ring"
+	case CollAllgatherv:
+		if e.Bytes <= tun.AllgathervShortMax && isPow2(e.Size) {
+			return "recdbl"
+		}
+		return "ring"
+	case CollAllreduce:
+		if e.Bytes <= tun.AllreduceShortMax || e.Count < e.Size {
+			return "recdbl"
+		}
+		return "rabenseifner"
+	case CollReduce:
+		return "binomial"
+	case CollBcast:
+		switch {
+		case e.Bytes <= tun.BcastShortMax || e.Size <= 2:
+			return "binomial"
+		case e.Bytes >= tun.BcastPipelineMin:
+			return "pipelined"
+		default:
+			return "scag"
+		}
+	case CollBarrier:
+		return "dissemination"
+	case CollAlltoall:
+		return "pairwise"
+	}
+	return ""
+}
+
+// available reports whether an entry can serve the call.
+func (en *entry) available(e Env, inPlace bool) bool {
+	if inPlace && en.runInPlace == nil {
+		return false
+	}
+	if !inPlace && en.run == nil {
+		return false
+	}
+	return en.applies == nil || en.applies(e)
+}
+
+func findEntry(cl Collective, name string) *entry {
+	ents := registry[cl]
+	for i := range ents {
+		if ents[i].name == name {
+			return &ents[i]
+		}
+	}
+	return nil
+}
+
+// pick resolves the algorithm for one call: a forced override first
+// (falling back to the policy when it cannot serve the call), then the
+// configured policy.
+func pick(cl Collective, e Env, tun Tuning, inPlace bool) (*entry, error) {
+	if name := tun.Force[cl]; name != "" {
+		if en := findEntry(cl, name); en != nil && en.available(e, inPlace) {
+			return en, nil
+		}
+	}
+	if tun.Policy == PolicyCost {
+		var best *entry
+		var bestCost sim.Time
+		ents := registry[cl]
+		for i := range ents {
+			en := &ents[i]
+			if !en.available(e, inPlace) {
+				continue
+			}
+			if c := en.cost(e); best == nil || c < bestCost {
+				best, bestCost = en, c
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("coll: no applicable %s algorithm for comm size %d", cl, e.Size)
+		}
+		return best, nil
+	}
+	name := tableChoice(cl, e, inPlace)
+	en := findEntry(cl, name)
+	if en == nil || !en.available(e, inPlace) {
+		return nil, fmt.Errorf("coll: table policy chose unavailable %s algorithm %q", cl, name)
+	}
+	return en, nil
+}
+
+// Registered reports whether an algorithm name exists for a collective.
+func Registered(cl Collective, name string) bool { return findEntry(cl, name) != nil }
+
+// Algorithms returns the registered algorithm names of a collective in
+// registration order.
+func Algorithms(cl Collective) []string {
+	ents := registry[cl]
+	names := make([]string, len(ents))
+	for i := range ents {
+		names[i] = ents[i].name
+	}
+	return names
+}
+
+// Choose returns the name of the algorithm the engine would run for
+// the described call under the given tuning — the introspection hook
+// the selection tests and the bench coll-sweep build on. Allgatherv
+// only exists in in-place form, so it selects among in-place runners.
+func Choose(cl Collective, e Env, tun Tuning) (string, error) {
+	en, err := pick(cl, e, tun, cl == CollAllgatherv)
+	if err != nil {
+		return "", err
+	}
+	return en.name, nil
+}
+
+// Candidate is one registered algorithm's view of a hypothetical call.
+type Candidate struct {
+	Name       string
+	Applicable bool
+	Est        sim.Time
+}
+
+// Candidates prices every registered algorithm of a collective at the
+// described call (inapplicable entries carry Est 0).
+func Candidates(cl Collective, e Env) []Candidate {
+	ents := registry[cl]
+	out := make([]Candidate, len(ents))
+	for i := range ents {
+		en := &ents[i]
+		out[i] = Candidate{Name: en.name, Applicable: en.applies == nil || en.applies(e)}
+		if out[i].Applicable {
+			out[i].Est = en.cost(e)
+		}
+	}
+	return out
+}

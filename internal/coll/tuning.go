@@ -1,0 +1,145 @@
+package coll
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// Policy selects how the engine picks among the registered algorithms
+// of a collective.
+type Policy int
+
+const (
+	// PolicyTable replicates the MPICH/OpenMPI-style static cutoff
+	// tables carried by the machine profile (sim.Tuning). It is the
+	// default, and bit-identical to the selection the historical
+	// hard-wired entry points performed.
+	PolicyTable Policy = iota
+	// PolicyCost consults the cost model: every applicable registered
+	// algorithm is priced with its alpha-beta-gamma estimate at the
+	// call's comm size, message size and hop class, and the cheapest
+	// wins (ties break by registration order, deterministically).
+	PolicyCost
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyTable:
+		return "table"
+	case PolicyCost:
+		return "cost"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Tuning configures the collective selection engine. The zero value is
+// the default: table policy, no overrides.
+type Tuning struct {
+	Policy Policy
+	// Force pins a collective to a named algorithm regardless of
+	// policy. A name that is unknown or inapplicable at a call site
+	// (e.g. recursive doubling on a non-power-of-two communicator)
+	// falls back to the policy choice rather than failing the call.
+	Force map[Collective]string
+}
+
+// EnvVar is the environment variable the default tuning is read from.
+const EnvVar = "REPRO_COLL_TUNING"
+
+// ParseTuning parses a tuning spec of comma-separated key=value pairs:
+// "policy" takes "table" or "cost"; a collective name (allgather,
+// allgatherv, allreduce, reduce, bcast, barrier, alltoall) takes the
+// algorithm to force, e.g.
+//
+//	policy=cost,allreduce=rabenseifner,barrier=central
+//
+// The same syntax is accepted by the REPRO_COLL_TUNING environment
+// variable and the command-line -tuning flags.
+func ParseTuning(spec string) (Tuning, error) {
+	var t Tuning
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return t, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return t, fmt.Errorf("coll: tuning entry %q is not key=value", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if key == "policy" {
+			switch val {
+			case "table":
+				t.Policy = PolicyTable
+			case "cost":
+				t.Policy = PolicyCost
+			default:
+				return t, fmt.Errorf("coll: unknown policy %q (want table or cost)", val)
+			}
+			continue
+		}
+		cl, err := ParseCollective(key)
+		if err != nil {
+			return t, err
+		}
+		if !Registered(cl, val) {
+			return t, fmt.Errorf("coll: no algorithm %q registered for %s", val, cl)
+		}
+		if t.Force == nil {
+			t.Force = map[Collective]string{}
+		}
+		t.Force[cl] = val
+	}
+	return t, nil
+}
+
+var (
+	defaultOnce sync.Once
+	defaultTun  Tuning
+)
+
+// DefaultTuning returns the process-wide default tuning: the zero
+// Tuning, overridden by REPRO_COLL_TUNING when set (a malformed value
+// is ignored rather than failing every collective in the job).
+func DefaultTuning() Tuning {
+	defaultOnce.Do(func() {
+		if spec := os.Getenv(EnvVar); spec != "" {
+			if t, err := ParseTuning(spec); err == nil {
+				defaultTun = t
+			} else {
+				fmt.Fprintf(os.Stderr, "coll: ignoring %s: %v\n", EnvVar, err)
+			}
+		}
+	})
+	return defaultTun
+}
+
+// WithTuning attaches a tuning configuration to a communicator handle
+// and returns the same handle; derived communicators inherit it. All
+// members must configure the same value (the usual MPI collective
+// discipline).
+func WithTuning(c *mpi.Comm, t Tuning) *mpi.Comm {
+	c.SetCollConfig(t)
+	return c
+}
+
+// tuningOf resolves the tuning for a call on the communicator: the
+// handle's attached configuration if any, the process default
+// otherwise.
+func tuningOf(c *mpi.Comm) Tuning {
+	switch t := c.CollConfig().(type) {
+	case Tuning:
+		return t
+	case *Tuning:
+		if t != nil {
+			return *t
+		}
+	}
+	return DefaultTuning()
+}

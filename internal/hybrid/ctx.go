@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/coll"
 	"repro/internal/mpi"
 )
 
@@ -66,6 +67,8 @@ type Ctx struct {
 	nodeFirst  []int // first slot of each node
 	myNodeIdx  int
 	smp        bool
+
+	collTuning *coll.Tuning
 }
 
 // Option configures a Ctx.
@@ -74,6 +77,12 @@ type Option func(*Ctx)
 // WithSync selects the synchronization flavor (default SyncBarrier, as
 // in the paper).
 func WithSync(m SyncMode) Option { return func(c *Ctx) { c.sync = m } }
+
+// WithCollTuning routes every collective the hybrid context issues —
+// the bridge exchanges of its leaders in particular — through the
+// given selection-engine tuning. Without it the context inherits
+// whatever tuning the parent communicator (or world) carries.
+func WithCollTuning(t coll.Tuning) Option { return func(c *Ctx) { c.collTuning = &t } }
 
 // ctxPlan is the node-sorted rank geometry of one hybrid context,
 // computed once by comm rank 0 and shared read-only by every member.
@@ -129,6 +138,10 @@ func New(comm *mpi.Comm, opts ...Option) (*Ctx, error) {
 	if comm == nil {
 		return nil, fmt.Errorf("hybrid: New on nil communicator")
 	}
+	ctx := &Ctx{comm: comm}
+	for _, o := range opts {
+		o(ctx)
+	}
 	node, err := comm.SplitTypeShared()
 	if err != nil {
 		return nil, err
@@ -137,10 +150,15 @@ func New(comm *mpi.Comm, opts ...Option) (*Ctx, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := &Ctx{comm: comm, node: node, bridge: bridge}
-	for _, o := range opts {
-		o(ctx)
+	if ctx.collTuning != nil {
+		// Attach to the context's own communicators only: the caller's
+		// handle keeps whatever tuning it already carries.
+		node.SetCollConfig(*ctx.collTuning)
+		if bridge != nil {
+			bridge.SetCollConfig(*ctx.collTuning)
+		}
 	}
+	ctx.node, ctx.bridge = node, bridge
 
 	// Build the node-sorted global rank array: every rank announces
 	// (its comm rank, its node group identified by the leader's comm

@@ -23,6 +23,14 @@ type Comm struct {
 	ranks []int // comm rank -> global rank (shared, read-only)
 	rank  int   // this process's comm rank
 	seq   int   // sequence number for untimed coordination calls
+	sched int   // sequence number for nonblocking schedule tag windows
+
+	// collCfg carries the collective-tuning configuration attached to
+	// this communicator (opaque here; internal/coll owns the concrete
+	// type, which keeps the layering acyclic). Derived communicators
+	// inherit it, so hybrid and workload layers see the tuning the
+	// world or a parent communicator was configured with.
+	collCfg any
 
 	oneNode int8 // cached single-node test: 0 unknown, 1 yes, -1 no
 }
@@ -33,7 +41,7 @@ type Comm struct {
 // every call site must observe the same sequence counter.
 func (p *Proc) CommWorld() *Comm {
 	if p.commWorld == nil {
-		p.commWorld = &Comm{p: p, ctx: 0, ranks: p.world.identity, rank: p.rank}
+		p.commWorld = &Comm{p: p, ctx: 0, ranks: p.world.identity, rank: p.rank, collCfg: p.world.collCfg}
 		p.world.match.reserve(0, p.rank)
 	}
 	return p.commWorld
@@ -202,8 +210,24 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	// Preallocate this rank's receive-side match queue for the new
 	// context so first use of the communicator doesn't allocate.
 	c.p.world.match.reserve(g.ctx, c.p.rank)
-	return &Comm{p: c.p, ctx: g.ctx, ranks: g.ranks, rank: int(plan.rankIn[c.rank])}, nil
+	return &Comm{p: c.p, ctx: g.ctx, ranks: g.ranks, rank: int(plan.rankIn[c.rank]), collCfg: c.collCfg}, nil
 }
+
+// CollConfig returns the collective-tuning configuration attached to
+// this communicator handle (nil when unset). internal/coll owns the
+// concrete type.
+func (c *Comm) CollConfig() any { return c.collCfg }
+
+// SetCollConfig attaches a collective-tuning configuration to this
+// handle. Communicators split off afterwards inherit it. Like every
+// property that influences collective algorithm choice, all members of
+// a communicator must configure the same value, or collective calls
+// mix algorithms and deadlock.
+func (c *Comm) SetCollConfig(v any) { c.collCfg = v }
+
+// SingleNode reports whether every member of the communicator lives on
+// one node (cached after the first call).
+func (c *Comm) SingleNode() bool { return c.isSingleNode() }
 
 // SplitTypeShared splits the communicator into shared-memory groups, one
 // per node — MPI_Comm_split_type(MPI_COMM_TYPE_SHARED). This is the

@@ -1,6 +1,10 @@
 package mpi
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/sim"
+)
 
 // Request is a nonblocking operation handle (MPI_Request).
 type Request struct {
@@ -13,10 +17,13 @@ type Request struct {
 	done   bool
 }
 
-// postSendMsg posts a send and returns the pending message, or nil for
-// an eager send (which completes at post time — the message is owned by
-// the matcher/pool from here on and must not be retained).
-func (c *Comm) postSendMsg(buf Buf, dst, tag int) (*message, error) {
+// postSendAtClock posts a send whose virtual posting time is `at` —
+// the caller's clock on the blocking/Isend path, the schedule
+// executor's cursor otherwise — and returns the pending message, or
+// nil for an eager send (which completes at post; the message is owned
+// by the matcher/pool from there on and must not be retained). The
+// caller charges the eager posting overhead to its own timeline.
+func (c *Comm) postSendAtClock(buf Buf, dst, tag int, at sim.Time, kind string) (*message, error) {
 	if err := c.validRank(dst, false); err != nil {
 		return nil, err
 	}
@@ -36,24 +43,42 @@ func (c *Comm) postSendMsg(buf Buf, dst, tag int) (*message, error) {
 		data:      data,
 		store:     store,
 		eager:     eager,
-		postClock: c.p.clock,
+		postClock: at,
 		done:      msg.done,
 	}
-	c.p.trace("send", buf.Len(), "")
+	if w.tracer.Enabled() {
+		w.tracer.Record(sim.Event{At: at, Rank: c.p.rank, Kind: kind, Bytes: buf.Len()})
+	}
 	if r := w.match.postSend(c.ctx, msg); r != nil {
 		w.complete(msg, r)
 	}
 	if eager {
-		// The sender pays only its posting overhead and moves on.
-		c.p.advance(w.model.SendOverhead)
 		return nil, nil
 	}
 	return msg, nil
 }
 
-// postRecvReq posts a receive and returns the pending record. The
-// caller must hand it to waitRecvReq exactly once (which recycles it).
-func (c *Comm) postRecvReq(buf Buf, src, tag int) (*recvReq, error) {
+// postSendMsg posts a send at the caller's clock and returns the
+// pending message (nil for eager sends, whose posting overhead is
+// charged here).
+func (c *Comm) postSendMsg(buf Buf, dst, tag int) (*message, error) {
+	msg, err := c.postSendAtClock(buf, dst, tag, c.p.clock, "send")
+	if err != nil {
+		return nil, err
+	}
+	if msg == nil {
+		// The sender pays only its posting overhead and moves on.
+		c.p.advance(c.p.world.model.SendOverhead)
+	}
+	return msg, nil
+}
+
+// postRecvReqAt posts a receive at an explicit virtual time. A
+// non-empty kind records a trace event at post (the blocking path
+// traces at completion instead). The caller must hand the record to
+// waitRecvReq (or the schedule executor's drain) exactly once, which
+// recycles it.
+func (c *Comm) postRecvReqAt(buf Buf, src, tag int, at sim.Time, kind string) (*recvReq, error) {
 	if err := c.validRank(src, true); err != nil {
 		return nil, err
 	}
@@ -68,13 +93,21 @@ func (c *Comm) postRecvReq(buf Buf, src, tag int) (*recvReq, error) {
 		tag:       tag,
 		srcGlobal: srcGlobal,
 		buf:       buf,
-		postClock: c.p.clock,
+		postClock: at,
 		result:    rr.result,
+	}
+	if kind != "" && w.tracer.Enabled() {
+		w.tracer.Record(sim.Event{At: at, Rank: c.p.rank, Kind: kind, Bytes: buf.Len()})
 	}
 	if msg := w.match.postRecv(c.ctx, c.p.rank, rr); msg != nil {
 		w.complete(msg, rr)
 	}
 	return rr, nil
+}
+
+// postRecvReq posts a receive at the caller's clock.
+func (c *Comm) postRecvReq(buf Buf, src, tag int) (*recvReq, error) {
+	return c.postRecvReqAt(buf, src, tag, c.p.clock, "")
 }
 
 // waitSendMsg blocks until a rendezvous send completes, advances the
@@ -153,6 +186,54 @@ func (r *Request) Wait() (Status, error) {
 	}
 	r.status = st
 	return r.status, nil
+}
+
+// Test polls for completion without blocking (MPI_Test). When the
+// operation has completed it behaves exactly like Wait: the caller's
+// clock advances to the completion time and the Status is returned.
+// The virtual timestamps involved are deterministic; only *when* (in
+// host time) Test first observes them is not, which mirrors real MPI,
+// where Test's return value depends on progress timing.
+func (r *Request) Test() (bool, Status, error) {
+	if r == nil {
+		return false, Status{}, errors.New("mpi: Test on nil request")
+	}
+	if r.done {
+		return true, r.status, nil
+	}
+	if r.isSend {
+		if r.eager {
+			// Completion time was already charged at post.
+			r.done = true
+			return true, Status{}, nil
+		}
+		select {
+		case at := <-r.msg.done:
+			r.p.syncTo(at)
+			putMessage(r.msg)
+			r.msg = nil
+			r.done = true
+			return true, Status{}, nil
+		case <-r.p.world.abortCh:
+			return false, Status{}, ErrAborted
+		default:
+			return false, Status{}, nil
+		}
+	}
+	select {
+	case res := <-r.rr.result:
+		putRecvReq(r.rr)
+		r.rr = nil
+		r.p.syncTo(res.at)
+		r.p.trace("recv", res.bytes, "")
+		r.status = Status{Source: res.source, Tag: res.tag, Bytes: res.bytes}
+		r.done = true
+		return true, r.status, nil
+	case <-r.p.world.abortCh:
+		return false, Status{}, ErrAborted
+	default:
+		return false, Status{}, nil
+	}
 }
 
 // Waitall completes a set of requests, returning the first error.

@@ -27,6 +27,7 @@ type World struct {
 	match   *matcher
 	coord   *coordinator
 	nextCtx atomic.Int64
+	collCfg any // default collective-tuning config inherited by CommWorld
 
 	identity []int // comm rank == global rank table for COMM_WORLD
 	procs    []*Proc
@@ -69,6 +70,13 @@ func WithRealData() Option { return func(w *World) { w.real = true } }
 
 // WithTracer attaches an event tracer.
 func WithTracer(t *sim.Tracer) Option { return func(w *World) { w.tracer = t } }
+
+// WithCollConfig sets the world-default collective-tuning configuration
+// (an internal/coll Tuning value, opaque here). Every rank's CommWorld
+// handle — and every communicator derived from it — inherits the value,
+// which is how a workload or benchmark threads a tuning policy through
+// to the hybrid and collective layers.
+func WithCollConfig(v any) Option { return func(w *World) { w.collCfg = v } }
 
 // NewWorld creates a simulated MPI job on the given topology and machine
 // model.

@@ -219,3 +219,14 @@ func (m *CostModel) ComputeCost(flops float64) Time {
 
 // Eager reports whether an n-byte message uses the eager protocol.
 func (m *CostModel) Eager(n int) bool { return n <= m.EagerLimit }
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1 (0 for smaller) — the
+// round count of the logarithmic collective algorithms, used by the
+// selection engine's cost estimates.
+func Log2Ceil(n int) int {
+	k := 0
+	for p := 1; p < n; p <<= 1 {
+		k++
+	}
+	return k
+}
