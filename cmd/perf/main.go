@@ -77,6 +77,10 @@ func main() {
 		}
 		rep.CollSweep = bench.RunCollSweep(mk(), tun)
 		printSweep(rep.CollSweep)
+		if rep.TopoSweep, err = bench.RunTopoSweep(mk(), tun); err != nil {
+			fatal(err)
+		}
+		printTopoSweep(rep.TopoSweep)
 	}
 
 	if *out != "" {
@@ -132,6 +136,15 @@ func printSweep(s *bench.CollSweepReport) {
 	for _, x := range s.Crossovers {
 		fmt.Printf("  %-10s n=%-3d %s: %s -> %s at %d B\n",
 			x.Collective, x.CommSize, x.Hop, x.From, x.To, x.AtBytes)
+	}
+}
+
+func printTopoSweep(s *bench.TopoSweepReport) {
+	fmt.Printf("\ntopo-sweep (%s, policy %s): %d points (levels x ppn):\n",
+		s.Model, s.Policy, len(s.Points))
+	for _, p := range s.Points {
+		fmt.Printf("  %-18s %dx%-3d %8dB  hier %10.2f us  hybrid(%s) %10.2f us\n",
+			p.Stack, p.Nodes, p.PPN, p.Bytes, p.HierUs, p.SharedLevel, p.HybridUs)
 	}
 }
 

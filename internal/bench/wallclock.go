@@ -56,6 +56,10 @@ type WallReport struct {
 	// CollSweep records the selection engine's algorithm choices and
 	// crossover points (cmd/perf -sweep).
 	CollSweep *CollSweepReport `json:"coll_sweep,omitempty"`
+	// TopoSweep records the multi-level topology dimension: composed
+	// and hybrid allgather virtual times plus priced compositions per
+	// level stack and ppn (cmd/perf -sweep).
+	TopoSweep *TopoSweepReport `json:"topo_sweep,omitempty"`
 }
 
 // WallCases returns the standard wall-clock workload set: the paper's
@@ -263,6 +267,39 @@ func (rep *WallReport) CheckAgainst(baseline *WallReport, maxSlowdown, allocSlac
 			violations = append(violations, fmt.Sprintf(
 				"%s: %.0f allocs/op exceeds ceiling %.0f (baseline %.0f)",
 				r.Name, r.AllocsPerOp, ceiling, b.AllocsPerOp))
+		}
+	}
+	// The topology dimension is part of the gate: once a baseline
+	// carries a topo sweep, every checked build must produce one, and
+	// virtual times are deterministic so they must match exactly.
+	if baseline.TopoSweep != nil {
+		if rep.TopoSweep == nil || len(rep.TopoSweep.Points) == 0 {
+			violations = append(violations, "topology sweep missing (baseline has one; run with -sweep)")
+		} else {
+			topoKey := func(p TopoPoint) string {
+				return fmt.Sprintf("%s/%dx%d/%dB", p.Stack, p.Nodes, p.PPN, p.Bytes)
+			}
+			current := map[string]TopoPoint{}
+			for _, p := range rep.TopoSweep.Points {
+				current[topoKey(p)] = p
+			}
+			// Every baseline point must still exist and match exactly;
+			// a vanished point is a sweep-shape drift the gate must
+			// surface, not silently skip.
+			for _, b := range baseline.TopoSweep.Points {
+				key := topoKey(b)
+				p, ok := current[key]
+				if !ok {
+					violations = append(violations, fmt.Sprintf(
+						"topo %s: baseline point missing from the current sweep", key))
+					continue
+				}
+				if p.HierUs != b.HierUs || p.HybridUs != b.HybridUs {
+					violations = append(violations, fmt.Sprintf(
+						"topo %s: virtual time moved (hier %.2f -> %.2f us, hybrid %.2f -> %.2f us)",
+						key, b.HierUs, p.HierUs, b.HybridUs, p.HybridUs))
+				}
+			}
 		}
 	}
 	return violations

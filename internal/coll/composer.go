@@ -1,0 +1,611 @@
+package coll
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Composer is the multi-level collective machinery: a leader tree built
+// over an ordered stack of topology levels (innermost first), with one
+// communicator per tier. Tier 0 partitions every rank by the innermost
+// level; tier i>0 partitions the tier-(i-1) leaders by level i; the top
+// communicator joins the outermost leaders. The historical two-level
+// Hier (node + bridge) is exactly the one-level stack [node], and the
+// hybrid context is the one-level stack of whichever shared-memory
+// level hosts its window.
+//
+// Geometry is discovered once with the plan-published pattern: every
+// member contributes its leader chain, comm rank 0 sorts the membership
+// into level order and publishes the shared tables (the helper that
+// hier.go, multileader.go and hybrid/ctx.go previously each re-derived
+// for the node level alone). Construction is untimed one-off setup.
+type Composer struct {
+	comm  *mpi.Comm
+	level []int       // sim topology level indices, innermost first
+	tiers []*mpi.Comm // tiers[i]: my group comm at stack tier i (nil unless leader of every tier below)
+	top   *mpi.Comm   // outermost leaders (nil on everyone else)
+
+	shape   *compShape
+	myGroup []int // my group index per tier
+	mySlot  int   // my position in the level-sorted slot order
+}
+
+// tierShape describes every group of one tier, in leader (slot) order.
+type tierShape struct {
+	first []int // group -> first slot of the group
+	size  []int // group -> number of ranks (slots) in the group
+	// For tiers above the innermost: the contiguous range of child
+	// groups (at the tier below) each group is composed of.
+	childLo []int
+	childN  []int
+}
+
+// compShape is the level-sorted geometry of one composer, computed by
+// comm rank 0 and shared read-only by every member.
+type compShape struct {
+	slotToRank []int
+	rankToSlot []int
+	smp        bool
+	tiers      []tierShape
+}
+
+// compEntry is one member's contribution to the geometry plan: its comm
+// rank, its rank within the innermost tier communicator, and per tier
+// it belongs to the *global* rank of that tier's leader (-1 when not a
+// member). Global leader ids need no extra exchange — they are
+// tiers[i].Global(0) — and the plan builder translates them back to
+// comm ranks with one inverted table.
+type compEntry struct {
+	commRank int
+	sub0     int
+	leader   []int
+}
+
+// buildCompShape sorts the membership into level order — outermost
+// leader chain first, then position within the innermost group — and
+// derives the per-tier group tables. Group order at every tier is
+// leader-comm-rank order (bridge order), matching the historical
+// node-sorted global rank array of hybrid Sect. 6.
+func buildCompShape(c *mpi.Comm, tiers int) func(vals []any) *compShape {
+	return func(vals []any) *compShape {
+		n := len(vals)
+		commOf := make(map[int]int, n) // global rank -> comm rank
+		for r, g := range c.Ranks() {
+			commOf[g] = r
+		}
+		entries := make([]compEntry, n)
+		byRank := make([]*compEntry, n)
+		for i, v := range vals {
+			entries[i] = v.(compEntry)
+			byRank[entries[i].commRank] = &entries[i]
+		}
+		// chain[r*tiers+t]: comm rank of r's tier-t leader, resolved
+		// transitively (only tier members know their own leader).
+		chain := make([]int, n*tiers)
+		for r := 0; r < n; r++ {
+			lead := r
+			for t := 0; t < tiers; t++ {
+				g := byRank[lead].leader[t]
+				if g < 0 {
+					return nil
+				}
+				var ok bool
+				if lead, ok = commOf[g]; !ok {
+					return nil
+				}
+				chain[r*tiers+t] = lead
+			}
+		}
+
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool {
+			a, b := order[i], order[j]
+			for t := tiers - 1; t >= 0; t-- {
+				if chain[a*tiers+t] != chain[b*tiers+t] {
+					return chain[a*tiers+t] < chain[b*tiers+t]
+				}
+			}
+			return byRank[a].sub0 < byRank[b].sub0
+		})
+
+		shape := &compShape{
+			slotToRank: make([]int, n),
+			rankToSlot: make([]int, n),
+			smp:        true,
+			tiers:      make([]tierShape, tiers),
+		}
+		for s, r := range order {
+			shape.slotToRank[s] = r
+			shape.rankToSlot[r] = s
+			if r != s {
+				shape.smp = false
+			}
+		}
+		// Group tables per tier: consecutive slot runs sharing the
+		// tier leader.
+		for t := 0; t < tiers; t++ {
+			ts := &shape.tiers[t]
+			lastLeader := -1
+			for s, r := range order {
+				if chain[r*tiers+t] != lastLeader {
+					ts.first = append(ts.first, s)
+					ts.size = append(ts.size, 0)
+					lastLeader = chain[r*tiers+t]
+				}
+				ts.size[len(ts.size)-1]++
+			}
+			if t > 0 {
+				below := &shape.tiers[t-1]
+				child := 0
+				for g := range ts.first {
+					ts.childLo = append(ts.childLo, child)
+					end := ts.first[g] + ts.size[g]
+					cnt := 0
+					for child < len(below.first) && below.first[child] < end {
+						child++
+						cnt++
+					}
+					ts.childN = append(ts.childN, cnt)
+				}
+			}
+		}
+		return shape
+	}
+}
+
+// NewComposer builds the leader tree over the given stack of topology
+// level indices (innermost first, strictly nested). All members of c
+// must call it collectively with the same stack.
+func NewComposer(c *mpi.Comm, levels []int) (*Composer, error) {
+	if c == nil {
+		return nil, fmt.Errorf("coll: NewComposer on nil communicator")
+	}
+	topo := c.Proc().World().Topology()
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("coll: composer needs at least one level")
+	}
+	for i, l := range levels {
+		if l < 0 || l >= topo.NumLevels() {
+			return nil, fmt.Errorf("coll: composer level %d out of range (topology has %d levels)", l, topo.NumLevels())
+		}
+		if i > 0 && l <= levels[i-1] {
+			return nil, fmt.Errorf("coll: composer levels must be ordered innermost first, got %v", levels)
+		}
+	}
+	k := &Composer{comm: c, level: append([]int(nil), levels...)}
+
+	// Tier communicators, innermost first. Every split runs on the
+	// root communicator so the calls stay collective over all members;
+	// ranks that are not leaders of the tier below opt out.
+	var prev *mpi.Comm
+	for i, l := range levels {
+		color := mpi.Undefined
+		if i == 0 || (prev != nil && prev.Rank() == 0) {
+			color = topo.GroupOf(l, c.Global(c.Rank()))
+		}
+		sub, err := c.Split(color, c.Rank())
+		if err != nil {
+			return nil, err
+		}
+		k.tiers = append(k.tiers, sub)
+		prev = sub
+	}
+	// Outermost leaders form the top communicator (the bridge of the
+	// two-level scheme). Ranks outside the leader chain opt out.
+	topColor := mpi.Undefined
+	if last := k.tiers[len(k.tiers)-1]; last != nil && last.Rank() == 0 {
+		topColor = 0
+	}
+	top, err := c.Split(topColor, c.Rank())
+	if err != nil {
+		return nil, err
+	}
+	k.top = top
+
+	// Every member announces its leader chain (leaders are the global
+	// rank at position 0 of each tier communicator — no extra exchange
+	// needed), then rank 0 assembles and publishes the shared geometry.
+	entry := compEntry{
+		commRank: c.Rank(),
+		sub0:     k.tiers[0].Rank(),
+		leader:   make([]int, len(levels)),
+	}
+	for i := range levels {
+		entry.leader[i] = -1
+		if k.tiers[i] != nil {
+			entry.leader[i] = k.tiers[i].Global(0)
+		}
+	}
+	shape, err := mpi.SharePlan(c, entry, buildCompShape(c, len(levels)))
+	if err != nil {
+		return nil, fmt.Errorf("coll: composer geometry plan rejected: %w", err)
+	}
+	k.shape = shape
+	k.mySlot = shape.rankToSlot[c.Rank()]
+	k.myGroup = make([]int, len(levels))
+	for t := range levels {
+		ts := &shape.tiers[t]
+		g := sort.SearchInts(ts.first, k.mySlot+1) - 1
+		if g < 0 || k.mySlot >= ts.first[g]+ts.size[g] {
+			return nil, fmt.Errorf("coll: composer could not locate own tier-%d group", t)
+		}
+		k.myGroup[t] = g
+	}
+	return k, nil
+}
+
+// NewComposerNamed resolves level names ("numa", "socket", "node",
+// "group") against the world topology and builds the composer.
+func NewComposerNamed(c *mpi.Comm, names ...string) (*Composer, error) {
+	if c == nil {
+		return nil, fmt.Errorf("coll: NewComposerNamed on nil communicator")
+	}
+	topo := c.Proc().World().Topology()
+	levels := make([]int, len(names))
+	for i, name := range names {
+		l, ok := topo.LevelIndex(name)
+		if !ok {
+			return nil, fmt.Errorf("coll: topology %s has no level %q", topo, name)
+		}
+		levels[i] = l
+	}
+	sort.Ints(levels)
+	return NewComposer(c, levels)
+}
+
+// Comm returns the communicator the composer was built over.
+func (k *Composer) Comm() *mpi.Comm { return k.comm }
+
+// Tiers returns the number of stacked levels.
+func (k *Composer) Tiers() int { return len(k.tiers) }
+
+// Tier returns the tier-i communicator (nil on ranks that are not
+// leaders of every tier below i).
+func (k *Composer) Tier(i int) *mpi.Comm { return k.tiers[i] }
+
+// Top returns the outermost leader communicator (nil on everyone else).
+func (k *Composer) Top() *mpi.Comm { return k.top }
+
+// Level returns the sim topology level index of tier i.
+func (k *Composer) Level(i int) int { return k.level[i] }
+
+// SMP reports whether comm ranks are laid out SMP-style (level-sorted
+// slot order equals comm rank order).
+func (k *Composer) SMP() bool { return k.shape.smp }
+
+// SlotOf maps a comm rank to its slot in level-gathered buffers.
+func (k *Composer) SlotOf(rank int) int { return k.shape.rankToSlot[rank] }
+
+// RankAt is the inverse of SlotOf.
+func (k *Composer) RankAt(slot int) int { return k.shape.slotToRank[slot] }
+
+// RanksBySlot returns the slot -> comm rank table (shared across all
+// ranks; do not modify).
+func (k *Composer) RanksBySlot() []int { return k.shape.slotToRank }
+
+// SlotsByRank returns the comm rank -> slot table (shared across all
+// ranks; do not modify).
+func (k *Composer) SlotsByRank() []int { return k.shape.rankToSlot }
+
+// Groups returns the number of groups at tier i.
+func (k *Composer) Groups(i int) int { return len(k.shape.tiers[i].first) }
+
+// GroupSizes returns ranks per tier-i group in leader order (shared
+// across all ranks; do not modify).
+func (k *Composer) GroupSizes(i int) []int { return k.shape.tiers[i].size }
+
+// GroupFirsts returns the first slot of each tier-i group in leader
+// order (shared across all ranks; do not modify).
+func (k *Composer) GroupFirsts(i int) []int { return k.shape.tiers[i].first }
+
+// MyGroup returns this rank's group index at tier i.
+func (k *Composer) MyGroup(i int) int { return k.myGroup[i] }
+
+// IsLeader reports whether this rank leads its innermost group (and
+// therefore participates in at least tier 1).
+func (k *Composer) IsLeader() bool { return k.tiers[0].Rank() == 0 }
+
+// groupOfSlot locates the tier-t group containing a slot.
+func (k *Composer) groupOfSlot(t, slot int) int {
+	ts := &k.shape.tiers[t]
+	return sort.SearchInts(ts.first, slot+1) - 1
+}
+
+// requireSMP guards the composed collectives, which address recv
+// buffers by comm rank: slot order must equal rank order.
+func (k *Composer) requireSMP(op string) error {
+	if !k.shape.smp {
+		return fmt.Errorf("coll: composed %s needs SMP-style placement (level blocks contiguous in rank order)", op)
+	}
+	return nil
+}
+
+// Allgather runs the composed SMP-aware allgather (the N-level
+// generalization of the paper's Fig. 3a baseline):
+//
+//  1. every innermost group gathers its members' blocks at the group
+//     leader (linear, the intra-node aggregation phase),
+//  2. each higher tier gathers the accumulated child-group blocks at
+//     its leader,
+//  3. the outermost leaders exchange whole-group blocks (tuned
+//     MPI_Allgather when uniform, MPI_Allgatherv otherwise — [29],
+//     Fig. 10),
+//  4. the result is broadcast back down the tree, one tier at a time,
+//     so every rank ends with a private full copy.
+//
+// With the one-level stack [node] this is bit-identical to the
+// historical two-level Hier.Allgather.
+func (k *Composer) Allgather(send, recv mpi.Buf, per int) error {
+	if err := checkAllgatherArgs(k.comm, send, recv, per); err != nil {
+		return err
+	}
+	if err := k.requireSMP("allgather"); err != nil {
+		return err
+	}
+	shape := k.shape
+
+	// Up phase, tier 0: linear gather at the leader, directly into the
+	// group's slice of the final buffer.
+	t0 := &shape.tiers[0]
+	g0 := k.myGroup[0]
+	base0 := t0.first[g0] * per
+	if err := GatherLinear(k.tiers[0], send.Slice(0, per), recv.Slice(base0, t0.size[g0]*per), per, 0); err != nil {
+		return fmt.Errorf("coll: composed allgather gather phase: %w", err)
+	}
+	// Up phase, higher tiers: leaders forward their accumulated child
+	// blocks (irregular in general, so a linear gatherv at absolute
+	// offsets; the root's own block is already in place).
+	for t := 1; t < len(k.tiers); t++ {
+		if k.tiers[t] == nil {
+			break
+		}
+		ts := &shape.tiers[t]
+		below := &shape.tiers[t-1]
+		g := k.myGroup[t]
+		counts := make([]int, ts.childN[g])
+		offs := make([]int, ts.childN[g])
+		for j := 0; j < ts.childN[g]; j++ {
+			child := ts.childLo[g] + j
+			counts[j] = below.size[child] * per
+			offs[j] = below.first[child] * per
+		}
+		if err := gatherInPlaceLinear(k.tiers[t], recv, counts, offs); err != nil {
+			return fmt.Errorf("coll: composed allgather tier %d gather: %w", t, err)
+		}
+	}
+
+	// Top exchange: outermost leaders trade whole-group blocks.
+	// Uniform group sizes use the tuned MPI_Allgather path; irregular
+	// populations force the weaker MPI_Allgatherv ([29], Fig. 10).
+	if k.top != nil && k.top.Size() > 1 {
+		last := &shape.tiers[len(k.tiers)-1]
+		if uniform(last.size) {
+			blk := last.size[0] * per
+			if err := AllgatherInPlace(k.top, recv, blk); err != nil {
+				return fmt.Errorf("coll: composed allgather top exchange: %w", err)
+			}
+		} else {
+			counts := scale(last.size, per)
+			if err := AllgathervInPlace(k.top, recv, counts); err != nil {
+				return fmt.Errorf("coll: composed allgather top exchange: %w", err)
+			}
+		}
+	}
+
+	// Down phase: every tier's leader broadcasts the full result to
+	// its group, outermost tier first.
+	total := len(shape.slotToRank) * per
+	for t := len(k.tiers) - 1; t >= 0; t-- {
+		if k.tiers[t] == nil {
+			continue
+		}
+		if err := BcastBinomial(k.tiers[t], recv.Slice(0, total), 0); err != nil {
+			return fmt.Errorf("coll: composed allgather tier %d bcast: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// gatherInPlaceLinear gathers variable-size blocks at tier comm rank 0,
+// each landing at its absolute offset in recv. The root's own block is
+// already in place (the tier below put it there), so unlike Gatherv no
+// self-copy is charged.
+func gatherInPlaceLinear(c *mpi.Comm, recv mpi.Buf, counts, offs []int) error {
+	if c.Rank() != 0 {
+		me := c.Rank()
+		return c.Send(recv.Slice(offs[me], counts[me]), 0, tagGather)
+	}
+	for r := 1; r < c.Size(); r++ {
+		if _, err := c.Recv(recv.Slice(offs[r], counts[r]), r, tagGather); err != nil {
+			return fmt.Errorf("coll: in-place gather from %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// Bcast runs the composed SMP-aware broadcast: the root hands the
+// message up its leader chain (one send per tier whose leader the chain
+// has not yet reached), the outermost leaders broadcast among
+// themselves, and every tier's leader fans out to its group, outermost
+// first. Per-tier algorithms are chosen through the selection engine at
+// each tier communicator's hop class. With the stack [node] this is
+// bit-identical to the historical Hier.Bcast.
+func (k *Composer) Bcast(buf mpi.Buf, root int) error {
+	if err := checkBcastArgs(k.comm, buf, root); err != nil {
+		return err
+	}
+	if err := k.requireSMP("bcast"); err != nil {
+		return err
+	}
+	shape := k.shape
+	me := k.comm.Rank()
+
+	// Up the leader chain: rep is the comm rank currently holding the
+	// payload on root's branch; it forwards to each tier's group
+	// leader in turn.
+	rep := root
+	for t := 0; t < len(k.tiers); t++ {
+		g := k.groupOfSlot(t, root) // slot == comm rank under SMP
+		leader := shape.tiers[t].first[g]
+		if rep != leader {
+			if me == rep {
+				if err := k.tiers[t].Send(buf, 0, tagBcast); err != nil {
+					return fmt.Errorf("coll: composed bcast tier %d hand-off: %w", t, err)
+				}
+			}
+			if me == leader {
+				src := k.tierRankOf(t, rep)
+				if _, err := k.tiers[t].Recv(buf, src, tagBcast); err != nil {
+					return fmt.Errorf("coll: composed bcast tier %d hand-off: %w", t, err)
+				}
+			}
+			rep = leader
+		}
+	}
+
+	// Outermost leaders broadcast across groups.
+	if k.top != nil && k.top.Size() > 1 {
+		rootTop := k.groupOfSlot(len(k.tiers)-1, root)
+		if err := Bcast(k.top, buf, rootTop); err != nil {
+			return fmt.Errorf("coll: composed bcast top phase: %w", err)
+		}
+	}
+	// Leaders fan out, outermost tier first.
+	for t := len(k.tiers) - 1; t >= 0; t-- {
+		if k.tiers[t] == nil {
+			continue
+		}
+		if err := Bcast(k.tiers[t], buf, 0); err != nil {
+			return fmt.Errorf("coll: composed bcast tier %d phase: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// tierRankOf returns the tier-t communicator rank of a comm rank that
+// is a member of this rank's tier-t group: for tier 0 the offset within
+// the group, above that the index of its child group within the parent.
+func (k *Composer) tierRankOf(t, commRank int) int {
+	slot := commRank // SMP guaranteed by callers
+	ts := &k.shape.tiers[t]
+	g := k.groupOfSlot(t, slot)
+	if t == 0 {
+		return slot - ts.first[g]
+	}
+	child := k.groupOfSlot(t-1, slot)
+	return child - ts.childLo[g]
+}
+
+// TierEstimate is one phase of a priced composition.
+type TierEstimate struct {
+	Level     string  `json:"level"`
+	Phase     string  `json:"phase"`
+	CommSize  int     `json:"comm_size"`
+	Hop       string  `json:"hop"`
+	Algorithm string  `json:"algorithm"`
+	EstUs     float64 `json:"est_us"`
+}
+
+// PriceAllgather prices the composition Allgather actually executes:
+// the intra-tree phases are fixed by construction (linear gathers up,
+// binomial broadcasts down — the SMP-aware baseline shape, kept
+// bit-identical to the historical two-level code), so they are charged
+// with their registered entries' estimates at each tier's communicator
+// size, payload and hop class; only the top exchange goes through the
+// selection engine, exactly as at run time, so its reported algorithm
+// is the one the measured virtual time ran. Per-level selection over
+// candidates is the composed Bcast's domain, where every tier routes
+// through the registry. The total is the sequential sum over phases —
+// the critical path of the worst-populated chain.
+func (k *Composer) PriceAllgather(per int, tun Tuning) ([]TierEstimate, sim.Time, error) {
+	topo := k.comm.Proc().World().Topology()
+	model := k.comm.Proc().Model()
+	var out []TierEstimate
+	var total sim.Time
+	add := func(level, phase, name string, e Env, cl Collective) error {
+		if e.Size <= 1 {
+			return nil
+		}
+		if name == "" {
+			var err error
+			if name, err = Choose(cl, e, tun); err != nil {
+				return err
+			}
+		}
+		en := findEntry(cl, name)
+		if en == nil {
+			return fmt.Errorf("coll: composition phase %s/%s prices unknown algorithm %q", level, phase, name)
+		}
+		est := en.cost(e)
+		out = append(out, TierEstimate{
+			Level: level, Phase: phase, CommSize: e.Size,
+			Hop: e.Hop.String(), Algorithm: name, EstUs: est.Us(),
+		})
+		total += est
+		return nil
+	}
+
+	ranks := len(k.shape.slotToRank)
+	// Up phases: per-tier linear gathers (what Allgather runs) at the
+	// tier's hop class, sized by the largest group — the chain that
+	// bounds the makespan.
+	carried := per
+	for t := range k.tiers {
+		ts := &k.shape.tiers[t]
+		size := maxOf(ts.size)
+		members := size
+		if t > 0 {
+			members = maxOf(ts.childN)
+			carried = size * per / max(members, 1)
+		}
+		e := Env{Size: members, Bytes: carried, Model: model, Hop: topo.LevelClass(k.level[t])}
+		if err := add(topo.LevelName(k.level[t]), "gather", "linear", e, CollGather); err != nil {
+			return nil, 0, err
+		}
+		carried = size * per
+	}
+	// Top exchange across the outermost groups: the selection-driven
+	// phase.
+	last := &k.shape.tiers[len(k.tiers)-1]
+	if len(last.size) > 1 {
+		e := Env{Size: len(last.size), Bytes: maxOf(last.size) * per, Model: model, Hop: sim.HopNet}
+		cl := CollAllgather
+		if !uniform(last.size) {
+			cl = CollAllgatherv
+			e.Bytes = ranks * per
+		}
+		if err := add("top", "exchange", "", e, cl); err != nil {
+			return nil, 0, err
+		}
+	}
+	// Down phases: full-result binomial broadcasts (what Allgather
+	// runs), outermost tier first.
+	for t := len(k.tiers) - 1; t >= 0; t-- {
+		ts := &k.shape.tiers[t]
+		members := maxOf(ts.size)
+		if t > 0 {
+			members = maxOf(ts.childN)
+		}
+		e := Env{Size: members, Bytes: ranks * per, Model: model, Hop: topo.LevelClass(k.level[t])}
+		if err := add(topo.LevelName(k.level[t]), "bcast", "binomial", e, CollBcast); err != nil {
+			return nil, 0, err
+		}
+	}
+	return out, total, nil
+}
+
+func maxOf(v []int) int {
+	m := 0
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -7,9 +7,19 @@ import (
 )
 
 // Gather collects per-rank blocks of `per` bytes at root (rank order in
-// root's recv buffer), using a binomial tree.
+// root's recv buffer). The algorithm is resolved by the selection
+// engine: under the default table policy the binomial tree (what this
+// entry point always ran), with the linear path available to the cost
+// policy and Force overrides.
 func Gather(c *mpi.Comm, send, recv mpi.Buf, per, root int) error {
-	return GatherBinomial(c, send, recv, per, root)
+	if err := checkRootArgs(c, root); err != nil {
+		return err
+	}
+	en, err := pick(CollGather, envFor(c, per, 0), tuningOf(c), false)
+	if err != nil {
+		return err
+	}
+	return en.run.(gatherFn)(c, send, recv, per, root)
 }
 
 func checkRootArgs(c *mpi.Comm, root int) error {

@@ -2,7 +2,6 @@ package coll
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/mpi"
 )
@@ -14,137 +13,68 @@ import (
 // results — that per-rank copy, and the intra-node aggregation /
 // broadcast phases that maintain it, are precisely what the hybrid
 // approach removes.
+//
+// Hier is the thin two-level instantiation of the multi-level Composer:
+// the stack holding only the node level. Deeper machine hierarchies
+// (socket ⊂ node ⊂ group) run through NewHierStack or NewComposer
+// directly.
 type Hier struct {
-	comm   *mpi.Comm // the communicator the hierarchy was built over
-	node   *mpi.Comm // shared-memory communicator (Fig. 1a)
-	bridge *mpi.Comm // leaders only; nil on children (Fig. 2)
-
-	nodeBytesIdx []int // bridge rank -> number of comm ranks on that node
-	nodeBase     []int // bridge rank -> first comm rank of that node
-	myNodeIdx    int   // my node's bridge rank
+	comp *Composer
 }
 
 // NewHier builds the two-level communicator structure. It requires
 // SMP-style placement (each node's comm ranks contiguous), which is the
 // paper's stated assumption (Sect. 4); construction is untimed setup.
 func NewHier(c *mpi.Comm) (*Hier, error) {
+	return NewHierStack(c, "node")
+}
+
+// NewHierStack builds the hierarchical machinery over an arbitrary
+// stack of topology level names (innermost first, e.g. "socket",
+// "node"). SMP-style placement is required at every level.
+func NewHierStack(c *mpi.Comm, levels ...string) (*Hier, error) {
 	if c == nil {
 		return nil, fmt.Errorf("coll: NewHier on nil communicator")
 	}
-	node, err := c.SplitTypeShared()
+	comp, err := NewComposerNamed(c, levels...)
 	if err != nil {
 		return nil, err
 	}
-	bridge, err := c.SplitBridge(node)
-	if err != nil {
-		return nil, err
+	if !comp.SMP() {
+		return nil, fmt.Errorf("coll: NewHier needs SMP-style placement; level blocks not contiguous")
 	}
-
-	// Gather the per-node shapes (one-off setup metadata). Rank 0
-	// deduplicates and validates once and publishes the shared tables;
-	// each member only locates its own node block.
-	type nodeInfo struct{ base, size, nodeIdx int }
-	type hierPlan struct{ bases, sizes []int }
-	leaderBase := c.Rank() - node.Rank()
-
-	// Deduplicate per node, ordered by base rank (== bridge order,
-	// since leaders are the lowest ranks and Split orders by key), and
-	// verify contiguity (SMP placement); nil rejects the placement.
-	build := func(vals []any) *hierPlan {
-		plan := &hierPlan{}
-		lastBase := -1
-		for r := 0; r < len(vals); r++ {
-			in := vals[r].(nodeInfo)
-			if in.base == lastBase {
-				continue
-			}
-			lastBase = in.base
-			if n := len(plan.bases); n > 0 && in.base != plan.bases[n-1]+plan.sizes[n-1] {
-				return nil
-			}
-			plan.bases = append(plan.bases, in.base)
-			plan.sizes = append(plan.sizes, in.size)
-		}
-		return plan
-	}
-	plan, err := mpi.SharePlan(c,
-		nodeInfo{base: leaderBase, size: node.Size(), nodeIdx: c.Proc().Node()}, build)
-	if err != nil {
-		return nil, fmt.Errorf("coll: NewHier needs SMP-style placement; node blocks not contiguous")
-	}
-	myIdx := sort.SearchInts(plan.bases, leaderBase)
-	if myIdx >= len(plan.bases) || plan.bases[myIdx] != leaderBase {
-		return nil, fmt.Errorf("coll: NewHier could not locate own node block")
-	}
-	return &Hier{
-		comm:         c,
-		node:         node,
-		bridge:       bridge,
-		nodeBytesIdx: plan.sizes,
-		nodeBase:     plan.bases,
-		myNodeIdx:    myIdx,
-	}, nil
+	return &Hier{comp: comp}, nil
 }
 
-// Node returns the shared-memory communicator.
-func (h *Hier) Node() *mpi.Comm { return h.node }
+// Composer exposes the underlying multi-level composer.
+func (h *Hier) Composer() *Composer { return h.comp }
 
-// Bridge returns the leader communicator (nil on children).
-func (h *Hier) Bridge() *mpi.Comm { return h.bridge }
+// Node returns the innermost (shared-memory) communicator.
+func (h *Hier) Node() *mpi.Comm { return h.comp.Tier(0) }
 
-// IsLeader reports whether this rank leads its node.
-func (h *Hier) IsLeader() bool { return h.node.Rank() == 0 }
+// Bridge returns the outermost leader communicator (nil on children).
+func (h *Hier) Bridge() *mpi.Comm { return h.comp.Top() }
 
-// Nodes returns the number of nodes under the hierarchy.
-func (h *Hier) Nodes() int { return len(h.nodeBase) }
+// IsLeader reports whether this rank leads its innermost group.
+func (h *Hier) IsLeader() bool { return h.comp.IsLeader() }
 
-// NodeCounts returns the number of ranks per node in bridge order
-// (shared across all ranks; do not modify).
-func (h *Hier) NodeCounts() []int { return h.nodeBytesIdx }
+// Nodes returns the number of outermost groups under the hierarchy.
+func (h *Hier) Nodes() int { return h.comp.Groups(h.comp.Tiers() - 1) }
 
-// Allgather is the paper's pure-MPI baseline allgather (Fig. 3a):
-//  1. aggregate the node's blocks at the leader (shared-memory
+// NodeCounts returns the number of ranks per outermost group in bridge
+// order (shared across all ranks; do not modify).
+func (h *Hier) NodeCounts() []int { return h.comp.GroupSizes(h.comp.Tiers() - 1) }
+
+// Allgather is the paper's pure-MPI baseline allgather (Fig. 3a),
+// generalized to the composed leader tree:
+//  1. aggregate each group's blocks at its leader (shared-memory
 //     transport),
-//  2. exchange aggregated node blocks between leaders
+//  2. exchange aggregated blocks between the outermost leaders
 //     (MPI_Allgather / MPI_Allgatherv on the bridge),
-//  3. broadcast the full result to every on-node child, giving each
-//     rank its own private copy.
+//  3. broadcast the full result down the tree, giving each rank its
+//     own private copy.
 func (h *Hier) Allgather(send, recv mpi.Buf, per int) error {
-	if err := checkAllgatherArgs(h.comm, send, recv, per); err != nil {
-		return err
-	}
-	nodeOff := h.nodeBase[h.myNodeIdx] * per
-
-	// Phase 1: linear gather at the leader, directly into the node's
-	// slice of the final buffer.
-	nodeBytes := h.node.Size() * per
-	if err := GatherLinear(h.node, send.Slice(0, per), recv.Slice(nodeOff, nodeBytes), per, 0); err != nil {
-		return fmt.Errorf("coll: hier allgather gather phase: %w", err)
-	}
-
-	// Phase 2: leaders exchange node blocks. Uniform node sizes use
-	// the tuned MPI_Allgather path; irregular populations force the
-	// weaker MPI_Allgatherv ([29], Fig. 10).
-	if h.bridge != nil && h.bridge.Size() > 1 {
-		if uniform(h.nodeBytesIdx) {
-			blk := h.nodeBytesIdx[0] * per
-			if err := AllgatherInPlace(h.bridge, recv, blk); err != nil {
-				return fmt.Errorf("coll: hier allgather bridge phase: %w", err)
-			}
-		} else {
-			counts := scale(h.nodeBytesIdx, per)
-			if err := AllgathervInPlace(h.bridge, recv, counts); err != nil {
-				return fmt.Errorf("coll: hier allgather bridge phase: %w", err)
-			}
-		}
-	}
-
-	// Phase 3: every child obtains its own full copy.
-	total := Total(h.nodeBytesIdx) * per
-	if err := BcastBinomial(h.node, recv.Slice(0, total), 0); err != nil {
-		return fmt.Errorf("coll: hier allgather bcast phase: %w", err)
-	}
-	return nil
+	return h.comp.Allgather(send, recv, per)
 }
 
 func allgatherRingInPlace(c *mpi.Comm, recv mpi.Buf, per int) error {
@@ -183,50 +113,12 @@ func allgatherRecDblInPlace(c *mpi.Comm, recv mpi.Buf, per int) error {
 	return nil
 }
 
-// Bcast is the SMP-aware broadcast baseline: root hands the message to
-// its node leader, leaders broadcast over the bridge, and every leader
-// broadcasts inside its node — so every rank again holds a private
-// copy.
+// Bcast is the SMP-aware broadcast baseline: the root hands the message
+// up its leader chain, leaders broadcast over the bridge, and every
+// leader fans out within its group — so every rank again holds a
+// private copy.
 func (h *Hier) Bcast(buf mpi.Buf, root int) error {
-	if err := checkBcastArgs(h.comm, buf, root); err != nil {
-		return err
-	}
-	rootNode := -1
-	for i := range h.nodeBase {
-		if root >= h.nodeBase[i] && root < h.nodeBase[i]+h.nodeBytesIdx[i] {
-			rootNode = i
-			break
-		}
-	}
-	if rootNode < 0 {
-		return fmt.Errorf("coll: hier bcast cannot place root %d", root)
-	}
-	rootLocal := root - h.nodeBase[rootNode]
-
-	// Hand-off to the leader when the root is a child.
-	if rootLocal != 0 {
-		if h.comm.Rank() == root {
-			if err := h.comm.Send(buf, h.nodeBase[rootNode], tagBcast); err != nil {
-				return err
-			}
-		}
-		if h.comm.Rank() == h.nodeBase[rootNode] {
-			if _, err := h.comm.Recv(buf, root, tagBcast); err != nil {
-				return err
-			}
-		}
-	}
-	// Leaders broadcast across nodes.
-	if h.bridge != nil && h.bridge.Size() > 1 {
-		if err := Bcast(h.bridge, buf, rootNode); err != nil {
-			return fmt.Errorf("coll: hier bcast bridge phase: %w", err)
-		}
-	}
-	// Leaders fan out on the node.
-	if err := Bcast(h.node, buf, 0); err != nil {
-		return fmt.Errorf("coll: hier bcast node phase: %w", err)
-	}
-	return nil
+	return h.comp.Bcast(buf, root)
 }
 
 func uniform(v []int) bool {

@@ -33,7 +33,9 @@ type MultiLeaderHier struct {
 }
 
 // NewMultiLeaderHier builds the structure with nLeaders groups per node
-// (clamped to the node size).
+// (clamped to the node size). The node shape is discovered through the
+// composer's plan-published geometry — the same helper Hier and the
+// hybrid context build on — rather than a bespoke exchange.
 func NewMultiLeaderHier(c *mpi.Comm, nLeaders int) (*MultiLeaderHier, error) {
 	if c == nil {
 		return nil, fmt.Errorf("coll: NewMultiLeaderHier on nil communicator")
@@ -41,29 +43,21 @@ func NewMultiLeaderHier(c *mpi.Comm, nLeaders int) (*MultiLeaderHier, error) {
 	if nLeaders < 1 {
 		return nil, fmt.Errorf("coll: need at least one leader, got %d", nLeaders)
 	}
-	node, err := c.SplitTypeShared()
+	comp, err := NewComposerNamed(c, "node")
 	if err != nil {
 		return nil, err
 	}
+	node := comp.Tier(0)
 
-	// Exchange shapes first (every rank must reach this collectively
-	// even when validation will fail), then validate identically on
-	// all ranks.
-	ppn := node.Size()
-	sizes := c.Setup(ppn)
-	for _, v := range sizes {
-		if v.(int) != ppn {
-			return nil, fmt.Errorf("coll: multi-leader hierarchy needs uniform node population")
-		}
+	// Validate identically on all ranks (every rank holds the same
+	// published shape, so every rank fails the same way).
+	if !uniform(comp.GroupSizes(0)) {
+		return nil, fmt.Errorf("coll: multi-leader hierarchy needs uniform node population")
 	}
-	if c.Size()%ppn != 0 {
-		return nil, fmt.Errorf("coll: multi-leader hierarchy needs uniform node population (size %d, ppn %d)", c.Size(), ppn)
-	}
-	// Verify SMP placement: my node block must be node-aligned.
-	nodeBase := c.Rank() - node.Rank()
-	if nodeBase%ppn != 0 {
+	if !comp.SMP() {
 		return nil, fmt.Errorf("coll: multi-leader hierarchy needs SMP-style placement")
 	}
+	ppn := node.Size()
 
 	L := nLeaders
 	if L > ppn {
@@ -98,9 +92,9 @@ func NewMultiLeaderHier(c *mpi.Comm, nLeaders int) (*MultiLeaderHier, error) {
 		bridge:   bridge,
 		leaders:  leaders,
 		nLeaders: L,
-		nodes:    c.Size() / ppn,
+		nodes:    comp.Groups(0),
 		ppn:      ppn,
-		myNode:   nodeBase / ppn,
+		myNode:   comp.MyGroup(0),
 		myGroup:  myGroup,
 	}, nil
 }

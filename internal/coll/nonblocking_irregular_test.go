@@ -1,0 +1,141 @@
+package coll
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Irregularly populated nodes (paper Fig. 10) across every nonblocking
+// collective, on multi-level topologies including single-rank groups
+// and non-power-of-two communicator sizes. The schedule engine must
+// terminate and produce correct results regardless of the population
+// shape.
+func irregularTopos(t *testing.T) map[string]*sim.Topology {
+	t.Helper()
+	out := map[string]*sim.Topology{}
+	var err error
+	if out["nodes_5_1_3"], err = sim.NewTopology([]int{5, 1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if out["nodes_24_24_16_small"], err = sim.NewTopology([]int{6, 6, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if out["sockets_irregular"], err = sim.NewHierTopology([]sim.LevelSpec{
+		{Name: "socket", Sizes: []int{2, 1, 3, 1}},
+		{Name: "node", Sizes: []int{3, 4}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestNonblockingIrregularNodes(t *testing.T) {
+	for name, topo := range irregularTopos(t) {
+		n := topo.Size()
+		t.Run(name, func(t *testing.T) {
+			const elems = 7
+			runHierWorld(t, sim.VulcanOpenMPI(), topo, func(p *mpi.Proc) error {
+				c := p.CommWorld()
+
+				// Iallgather.
+				recv := mpi.Bytes(make([]byte, 8*elems*n))
+				s, err := Iallgather(c, fill(p.Rank(), elems), recv, 8*elems)
+				if err != nil {
+					return err
+				}
+				if err := s.Wait(); err != nil {
+					return err
+				}
+				checkGathered(t, "iallgather/"+name, recv, n, elems)
+
+				// Iallreduce.
+				v := make([]float64, elems)
+				for i := range v {
+					v[i] = float64(p.Rank() + i)
+				}
+				red := mpi.Bytes(make([]byte, 8*elems))
+				s, err = Iallreduce(c, mpi.FromFloat64s(v), red, elems, mpi.Float64, mpi.OpSum)
+				if err != nil {
+					return err
+				}
+				if err := s.Wait(); err != nil {
+					return err
+				}
+				base := n * (n - 1) / 2
+				for i := 0; i < elems; i++ {
+					want := float64(base + n*i)
+					if got := red.Float64At(i); got != want {
+						return fmt.Errorf("iallreduce elem %d = %v, want %v", i, got, want)
+					}
+				}
+
+				// Ibcast from a non-leader root on an irregular shape.
+				root := n - 1
+				var buf mpi.Buf
+				if p.Rank() == root {
+					buf = fill(root, elems)
+				} else {
+					buf = mpi.Bytes(make([]byte, 8*elems))
+				}
+				s, err = Ibcast(c, buf, root)
+				if err != nil {
+					return err
+				}
+				if err := s.Wait(); err != nil {
+					return err
+				}
+				for i := 0; i < elems; i++ {
+					want := float64(root*1_000_000 + i)
+					if got := buf.Float64At(i); got != want {
+						return fmt.Errorf("ibcast elem %d = %v, want %v", i, got, want)
+					}
+				}
+
+				// Ibarrier.
+				s, err = Ibarrier(c)
+				if err != nil {
+					return err
+				}
+				return s.Wait()
+			})
+		})
+	}
+}
+
+// TestComposedAllgatherOverlapsNonblocking runs the composer on the
+// same irregular worlds the nonblocking suite uses, interleaving an
+// Ibarrier between construction and the composed exchange — the
+// schedule machinery and the composed collectives share the request
+// engine and must coexist on any population shape.
+func TestComposedAllgatherWithNonblockingTraffic(t *testing.T) {
+	for name, topo := range irregularTopos(t) {
+		n := topo.Size()
+		t.Run(name, func(t *testing.T) {
+			const elems = 5
+			per := 8 * elems
+			runHierWorld(t, sim.VulcanOpenMPI(), topo, func(p *mpi.Proc) error {
+				c := p.CommWorld()
+				h, err := NewHier(c)
+				if err != nil {
+					return err
+				}
+				s, err := Ibarrier(c)
+				if err != nil {
+					return err
+				}
+				recv := mpi.Bytes(make([]byte, per*n))
+				if err := h.Allgather(fill(p.Rank(), elems), recv, per); err != nil {
+					return err
+				}
+				if err := s.Wait(); err != nil {
+					return err
+				}
+				checkGathered(t, "composed+ibarrier/"+name, recv, n, elems)
+				return nil
+			})
+		})
+	}
+}

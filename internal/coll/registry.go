@@ -25,6 +25,8 @@ const (
 	CollBcast
 	CollBarrier
 	CollAlltoall
+	CollGather
+	CollScan
 	numCollectives
 )
 
@@ -45,6 +47,10 @@ func (cl Collective) String() string {
 		return "barrier"
 	case CollAlltoall:
 		return "alltoall"
+	case CollGather:
+		return "gather"
+	case CollScan:
+		return "scan"
 	default:
 		return fmt.Sprintf("Collective(%d)", int(cl))
 	}
@@ -75,12 +81,14 @@ type Env struct {
 }
 
 // envFor derives the selection environment of a call on a communicator.
+// The hop class is the communicator's locality: the class of the
+// innermost topology level containing every member (on a node-only
+// topology, exactly the historical single-node-shm / otherwise-net
+// split). This is what moves crossovers independently per level: a
+// socket-tier communicator prices its candidates with socket
+// alpha/beta, the bridge with network alpha/beta.
 func envFor(c *mpi.Comm, bytes, count int) Env {
-	hop := sim.HopNet
-	if c.SingleNode() {
-		hop = sim.HopShm
-	}
-	return Env{Size: c.Size(), Bytes: bytes, Count: count, Model: c.Proc().Model(), Hop: hop}
+	return Env{Size: c.Size(), Bytes: bytes, Count: count, Model: c.Proc().Model(), Hop: c.HopClass()}
 }
 
 // Runner signatures per collective family.
@@ -93,6 +101,8 @@ type (
 	bcastFn            = func(*mpi.Comm, mpi.Buf, int) error
 	barrierFn          = func(*mpi.Comm) error
 	alltoallFn         = func(*mpi.Comm, mpi.Buf, mpi.Buf, int) error
+	gatherFn           = func(*mpi.Comm, mpi.Buf, mpi.Buf, int, int) error
+	scanFn             = func(*mpi.Comm, mpi.Buf, mpi.Buf, int, mpi.Datatype, mpi.Op) error
 )
 
 // entry is one registered algorithm.
@@ -268,9 +278,10 @@ var registry = [numCollectives][]entry{
 			name: "dissemination",
 			cost: func(e Env) sim.Time {
 				rounds := sim.Log2Ceil(e.Size)
-				if e.Hop == sim.HopShm {
+				if e.Hop.SharedMemory() {
 					// The native barrier's single-node fast path:
 					// flag-based rounds of two cache-line operations.
+					// Socket/numa-tier communicators take it too.
 					return timesT(rounds, 2*e.Model.MemAlpha)
 				}
 				return timesT(rounds, alphaT(e))
@@ -292,6 +303,48 @@ var registry = [numCollectives][]entry{
 				return timesT(e.Size-1, alphaT(e)+betaT(e, e.Bytes))
 			},
 			run: alltoallFn(AlltoallPairwise),
+		},
+	},
+	CollGather: {
+		{
+			name: "binomial",
+			cost: func(e Env) sim.Time {
+				// log n rounds; the root-adjacent link still moves
+				// (n-1) blocks, and the root pays the unrotate copy.
+				return timesT(sim.Log2Ceil(e.Size), alphaT(e)) +
+					betaT(e, (e.Size-1)*e.Bytes) +
+					e.Model.CopyCost(e.Size*e.Bytes, 1)
+			},
+			run: gatherFn(GatherBinomial),
+		},
+		{
+			name: "linear",
+			cost: func(e Env) sim.Time {
+				// Every child posts one message straight to the root:
+				// n-1 latencies serialized at the root, no forwarding
+				// copies — the intra-node winner.
+				return timesT(e.Size-1, alphaT(e)) + betaT(e, (e.Size-1)*e.Bytes)
+			},
+			run: gatherFn(GatherLinear),
+		},
+	},
+	CollScan: {
+		{
+			name: "recdbl",
+			cost: func(e Env) sim.Time {
+				steps := sim.Log2Ceil(e.Size)
+				return timesT(steps, alphaT(e)+betaT(e, e.Bytes)) + gammaT(e, 2*e.Count*steps)
+			},
+			run: scanFn(ScanRecDbl),
+		},
+		{
+			name: "linear",
+			cost: func(e Env) sim.Time {
+				// The last rank's critical path: the prefix trickles
+				// through every predecessor.
+				return timesT(e.Size-1, alphaT(e)+betaT(e, e.Bytes)) + gammaT(e, e.Count*(e.Size-1))
+			},
+			run: scanFn(ScanLinear),
 		},
 	},
 }
@@ -338,6 +391,13 @@ func tableChoice(cl Collective, e Env, inPlace bool) string {
 		return "dissemination"
 	case CollAlltoall:
 		return "pairwise"
+	case CollGather:
+		// The historical Gather entry point always ran the binomial
+		// tree; the linear path was reached only by explicit callers.
+		return "binomial"
+	case CollScan:
+		// The historical Scan was always recursive doubling.
+		return "recdbl"
 	}
 	return ""
 }

@@ -39,7 +39,7 @@ func (p Policy) String() string {
 }
 
 // Tuning configures the collective selection engine. The zero value is
-// the default: table policy, no overrides.
+// the default: table policy, no overrides, node-level hybrid windows.
 type Tuning struct {
 	Policy Policy
 	// Force pins a collective to a named algorithm regardless of
@@ -47,6 +47,12 @@ type Tuning struct {
 	// (e.g. recursive doubling on a non-power-of-two communicator)
 	// falls back to the policy choice rather than failing the call.
 	Force map[Collective]string
+	// SharedLevel names the topology level the hybrid context's shared
+	// window (and its sync domain) sits at: "node" (the paper's
+	// scheme, the default when empty) or any declared level inside the
+	// node ("socket", "numa"). Parsed from the sharedlevel= key of
+	// REPRO_COLL_TUNING and the -tuning flags.
+	SharedLevel string
 }
 
 // EnvVar is the environment variable the default tuning is read from.
@@ -82,6 +88,16 @@ func ParseTuning(spec string) (Tuning, error) {
 			default:
 				return t, fmt.Errorf("coll: unknown policy %q (want table or cost)", val)
 			}
+			continue
+		}
+		if key == "sharedlevel" {
+			if val == "" {
+				return t, fmt.Errorf("coll: sharedlevel needs a level name")
+			}
+			// Level existence is validated against the topology when a
+			// hybrid context is built (the tuning spec is parsed before
+			// any world exists).
+			t.SharedLevel = val
 			continue
 		}
 		cl, err := ParseCollective(key)
@@ -128,6 +144,11 @@ func WithTuning(c *mpi.Comm, t Tuning) *mpi.Comm {
 	c.SetCollConfig(t)
 	return c
 }
+
+// TuningFor resolves the tuning in effect for calls on a communicator:
+// the handle's attached configuration if any, the process default
+// otherwise. internal/hybrid uses it to pick up SharedLevel.
+func TuningFor(c *mpi.Comm) Tuning { return tuningOf(c) }
 
 // tuningOf resolves the tuning for a call on the communicator: the
 // handle's attached configuration if any, the process default

@@ -5,11 +5,17 @@
 // the bridge communicator; the other on-node ranks ("children") access
 // the shared segment directly and synchronize with the leader around the
 // exchange (Figs. 4 and 6 of the paper).
+//
+// With a multi-level topology the shared window (and its sync domain)
+// can sit at any shared-memory level: the paper's node scheme is the
+// default, a socket- or numa-level window turns every socket/numa
+// leader into a bridge participant (more exchange parallelism, smaller
+// windows). The level is selected with WithSharedLevel or the
+// sharedlevel= key of coll.Tuning / REPRO_COLL_TUNING.
 package hybrid
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/coll"
 	"repro/internal/mpi"
@@ -48,23 +54,26 @@ func (s SyncMode) String() string {
 
 // Ctx is one rank's handle on the hybrid MPI+MPI context built over a
 // communicator: the shared-memory and bridge communicators plus the
-// node-sorted global rank array that supports rank placements other
-// than SMP-style (paper Sect. 6 "Rank placement").
+// level-sorted global rank array that supports rank placements other
+// than SMP-style (paper Sect. 6 "Rank placement"). It is a thin
+// instantiation of the multi-level composer with a one-level stack: the
+// shared-memory level hosting the window.
 type Ctx struct {
 	comm   *mpi.Comm
-	node   *mpi.Comm
+	node   *mpi.Comm // the shared-level communicator (per node by default)
 	bridge *mpi.Comm // nil on children
 
-	sync SyncMode
+	sync  SyncMode
+	level string // topology level hosting the shared window
 
-	// Node-sorted rank array: slot s holds the comm rank stored at
-	// position s of every node-gathered buffer. Nodes appear in
-	// bridge order; ranks within a node in node-comm order. Under
-	// SMP placement slotToRank is the identity.
+	// Level-sorted rank array: slot s holds the comm rank stored at
+	// position s of every gathered buffer. Groups appear in bridge
+	// order; ranks within a group in group-comm order. Under SMP
+	// placement slotToRank is the identity.
 	slotToRank []int
 	rankToSlot []int
 	nodeSizes  []int // bridge order
-	nodeFirst  []int // first slot of each node
+	nodeFirst  []int // first slot of each group
 	myNodeIdx  int
 	smp        bool
 
@@ -78,62 +87,22 @@ type Option func(*Ctx)
 // in the paper).
 func WithSync(m SyncMode) Option { return func(c *Ctx) { c.sync = m } }
 
+// WithSharedLevel places the shared window (and the sync domain) at the
+// named topology level: "node" (the default), or any level nested
+// inside the node such as "socket" or "numa".
+func WithSharedLevel(level string) Option { return func(c *Ctx) { c.level = level } }
+
 // WithCollTuning routes every collective the hybrid context issues —
 // the bridge exchanges of its leaders in particular — through the
 // given selection-engine tuning. Without it the context inherits
 // whatever tuning the parent communicator (or world) carries.
 func WithCollTuning(t coll.Tuning) Option { return func(c *Ctx) { c.collTuning = &t } }
 
-// ctxPlan is the node-sorted rank geometry of one hybrid context,
-// computed once by comm rank 0 and shared read-only by every member.
-type ctxPlan struct {
-	slotToRank []int
-	rankToSlot []int
-	nodeSizes  []int
-	nodeFirst  []int
-	smp        bool
-}
-
-type ctxEntry struct{ commRank, leaderCommRank, nodeRank int }
-
-func buildCtxPlan(vals []any) *ctxPlan {
-	entries := make([]ctxEntry, len(vals))
-	for i, v := range vals {
-		entries[i] = v.(ctxEntry)
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].leaderCommRank != entries[j].leaderCommRank {
-			return entries[i].leaderCommRank < entries[j].leaderCommRank
-		}
-		return entries[i].nodeRank < entries[j].nodeRank
-	})
-
-	plan := &ctxPlan{
-		slotToRank: make([]int, len(entries)),
-		rankToSlot: make([]int, len(entries)),
-		smp:        true,
-	}
-	lastLeader := -1
-	for s, e := range entries {
-		plan.slotToRank[s] = e.commRank
-		plan.rankToSlot[e.commRank] = s
-		if e.commRank != s {
-			plan.smp = false
-		}
-		if e.leaderCommRank != lastLeader {
-			plan.nodeFirst = append(plan.nodeFirst, s)
-			plan.nodeSizes = append(plan.nodeSizes, 0)
-			lastLeader = e.leaderCommRank
-		}
-		plan.nodeSizes[len(plan.nodeSizes)-1]++
-	}
-	return plan
-}
-
 // New builds the hybrid context over a communicator: the two-level
-// communicator split of Fig. 4 lines 2-10 plus the node-sorted rank
-// array. Construction is untimed one-off setup; rank 0 computes the
-// geometry once and publishes it, so per-member work stays O(1).
+// communicator split of Fig. 4 lines 2-10 plus the level-sorted rank
+// array, all through the composer's plan-published geometry (rank 0
+// computes once, everyone shares). Construction is untimed one-off
+// setup.
 func New(comm *mpi.Comm, opts ...Option) (*Ctx, error) {
 	if comm == nil {
 		return nil, fmt.Errorf("hybrid: New on nil communicator")
@@ -142,14 +111,27 @@ func New(comm *mpi.Comm, opts ...Option) (*Ctx, error) {
 	for _, o := range opts {
 		o(ctx)
 	}
-	node, err := comm.SplitTypeShared()
-	if err != nil {
-		return nil, err
+	if ctx.level == "" {
+		if t := coll.TuningFor(comm); t.SharedLevel != "" {
+			ctx.level = t.SharedLevel
+		} else {
+			ctx.level = "node"
+		}
 	}
-	bridge, err := comm.SplitBridge(node)
-	if err != nil {
-		return nil, err
+	topo := comm.Proc().World().Topology()
+	lvl, ok := topo.LevelIndex(ctx.level)
+	if !ok {
+		return nil, fmt.Errorf("hybrid: topology %s has no level %q", topo, ctx.level)
 	}
+	if lvl > topo.NodeLevel() {
+		return nil, fmt.Errorf("hybrid: shared window cannot sit at level %q outside the node (no load/store reachability)", ctx.level)
+	}
+
+	comp, err := coll.NewComposer(comm, []int{lvl})
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	node, bridge := comp.Tier(0), comp.Top()
 	if ctx.collTuning != nil {
 		// Attach to the context's own communicators only: the caller's
 		// handle keeps whatever tuning it already carries.
@@ -159,50 +141,40 @@ func New(comm *mpi.Comm, opts ...Option) (*Ctx, error) {
 		}
 	}
 	ctx.node, ctx.bridge = node, bridge
-
-	// Build the node-sorted global rank array: every rank announces
-	// (its comm rank, its node group identified by the leader's comm
-	// rank, its on-node rank). Each member learns its leader's comm
-	// rank through the node communicator first.
-	leaderVals := node.Setup(comm.Rank())
-	myLeaderCommRank := leaderVals[0].(int)
-	plan, err := mpi.SharePlan(comm,
-		ctxEntry{commRank: comm.Rank(), leaderCommRank: myLeaderCommRank, nodeRank: node.Rank()},
-		buildCtxPlan)
-	if err != nil {
-		return nil, fmt.Errorf("hybrid: context plan missing: %w", err)
-	}
-	ctx.slotToRank = plan.slotToRank
-	ctx.rankToSlot = plan.rankToSlot
-	ctx.nodeSizes = plan.nodeSizes
-	ctx.nodeFirst = plan.nodeFirst
-	ctx.smp = plan.smp
-	// My node is the block containing my slot.
-	slot := ctx.rankToSlot[comm.Rank()]
-	ctx.myNodeIdx = sort.SearchInts(ctx.nodeFirst, slot+1) - 1
+	ctx.slotToRank = comp.RanksBySlot()
+	ctx.rankToSlot = comp.SlotsByRank()
+	ctx.nodeSizes = comp.GroupSizes(0)
+	ctx.nodeFirst = comp.GroupFirsts(0)
+	ctx.smp = comp.SMP()
+	ctx.myNodeIdx = comp.MyGroup(0)
 	return ctx, nil
 }
 
 // Comm returns the communicator the context was built over.
 func (c *Ctx) Comm() *mpi.Comm { return c.comm }
 
-// Node returns the shared-memory communicator.
+// Node returns the shared-memory communicator (the shared-level group:
+// the whole node by default, one socket/numa domain when the context
+// was built with a finer shared level).
 func (c *Ctx) Node() *mpi.Comm { return c.node }
 
 // Bridge returns the leader communicator (nil on children).
 func (c *Ctx) Bridge() *mpi.Comm { return c.bridge }
 
-// IsLeader reports whether this rank is its node's leader.
+// IsLeader reports whether this rank is its group's leader.
 func (c *Ctx) IsLeader() bool { return c.node.Rank() == 0 }
 
-// Nodes returns the number of nodes.
+// Nodes returns the number of shared-level groups (nodes by default).
 func (c *Ctx) Nodes() int { return len(c.nodeSizes) }
 
-// NodeSizes returns ranks per node in bridge order (shared across all
+// SharedLevel returns the topology level name the window sits at.
+func (c *Ctx) SharedLevel() string { return c.level }
+
+// NodeSizes returns ranks per group in bridge order (shared across all
 // ranks; do not modify).
 func (c *Ctx) NodeSizes() []int { return c.nodeSizes }
 
-// SlotOf maps a comm rank to its slot in node-gathered buffers. Under
+// SlotOf maps a comm rank to its slot in gathered buffers. Under
 // SMP-style placement this is the identity; for other placements it
 // realizes the node-sorted global rank array of Sect. 6.
 func (c *Ctx) SlotOf(rank int) int { return c.rankToSlot[rank] }
@@ -210,12 +182,12 @@ func (c *Ctx) SlotOf(rank int) int { return c.rankToSlot[rank] }
 // RankAt is the inverse of SlotOf.
 func (c *Ctx) RankAt(slot int) int { return c.slotToRank[slot] }
 
-// SMPPlacement reports whether comm ranks are laid out SMP-style (node
+// SMPPlacement reports whether comm ranks are laid out SMP-style (group
 // blocks contiguous in rank order).
 func (c *Ctx) SMPPlacement() bool { return c.smp }
 
 // Sync returns the configured synchronization flavor.
 func (c *Ctx) Sync() SyncMode { return c.sync }
 
-// MyNodeIdx returns this rank's node position in bridge order.
+// MyNodeIdx returns this rank's group position in bridge order.
 func (c *Ctx) MyNodeIdx() int { return c.myNodeIdx }

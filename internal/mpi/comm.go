@@ -33,6 +33,7 @@ type Comm struct {
 	collCfg any
 
 	oneNode int8 // cached single-node test: 0 unknown, 1 yes, -1 no
+	hopCl   int8 // cached comm-wide hop class: 0 unknown, else class+1
 }
 
 // CommWorld returns this rank's handle on MPI_COMM_WORLD. The handle is
@@ -229,6 +230,47 @@ func (c *Comm) SetCollConfig(v any) { c.collCfg = v }
 // one node (cached after the first call).
 func (c *Comm) SingleNode() bool { return c.isSingleNode() }
 
+// HopClass returns the hop class that dominates traffic on this
+// communicator: the class of the innermost topology level containing
+// every member, HopNet when the members share no declared level. On a
+// node-level-only topology this is exactly the historical
+// single-node-means-shm / otherwise-net classification. Cached after
+// the first call.
+func (c *Comm) HopClass() sim.HopClass {
+	if c.hopCl == 0 {
+		topo := c.p.world.topo
+		class := sim.HopNet
+		for l := 0; l < topo.NumLevels(); l++ {
+			g := topo.GroupOf(l, c.ranks[0])
+			same := true
+			for _, r := range c.ranks[1:] {
+				if topo.GroupOf(l, r) != g {
+					same = false
+					break
+				}
+			}
+			if same {
+				class = topo.LevelClass(l)
+				break
+			}
+		}
+		c.hopCl = int8(class) + 1
+	}
+	return sim.HopClass(c.hopCl - 1)
+}
+
+// SplitLevel splits the communicator into one group per level-l
+// topology group, the level-indexed generalization of
+// MPI_Comm_split_type: every member lands in the communicator of its
+// numa domain, socket, node or network group, ordered by parent rank.
+func (c *Comm) SplitLevel(l int) (*Comm, error) {
+	topo := c.p.world.topo
+	if l < 0 || l >= topo.NumLevels() {
+		return nil, fmt.Errorf("mpi: SplitLevel(%d) on a %d-level topology", l, topo.NumLevels())
+	}
+	return c.Split(topo.GroupOf(l, c.p.rank), c.rank)
+}
+
 // SplitTypeShared splits the communicator into shared-memory groups, one
 // per node — MPI_Comm_split_type(MPI_COMM_TYPE_SHARED). This is the
 // first step of the paper's hierarchical communicator setup (Fig. 1a).
@@ -236,15 +278,24 @@ func (c *Comm) SplitTypeShared() (*Comm, error) {
 	return c.Split(c.p.Node(), c.rank)
 }
 
+// SplitLeaders builds the leader communicator over a sub-communicator
+// partition: the lowest rank of each sub group joins, everyone else
+// gets nil. sub must be a communicator obtained by splitting this one
+// (SplitLevel / SplitTypeShared), and the call is collective over this
+// communicator's members.
+func (c *Comm) SplitLeaders(sub *Comm) (*Comm, error) {
+	color := Undefined
+	if sub.Rank() == 0 {
+		color = 0
+	}
+	return c.Split(color, c.rank)
+}
+
 // SplitBridge builds the paper's bridge communicator (Fig. 2): the
 // lowest rank of each shared-memory group becomes a leader; leaders form
 // the bridge, everyone else gets nil.
 func (c *Comm) SplitBridge(nodeComm *Comm) (*Comm, error) {
-	color := Undefined
-	if nodeComm.Rank() == 0 {
-		color = 0
-	}
-	return c.Split(color, c.rank)
+	return c.SplitLeaders(nodeComm)
 }
 
 // Dup duplicates the communicator with a fresh context (MPI_Comm_dup),

@@ -318,7 +318,7 @@ func (c *Comm) SendFlag(dst, tag int) error {
 		return err
 	}
 	w := c.p.world
-	if w.topo.Hop(c.p.rank, c.ranks[dst]) == sim.HopNet {
+	if !w.topo.SameNode(c.p.rank, c.ranks[dst]) {
 		return fmt.Errorf("mpi: SendFlag to rank %d on another node", dst)
 	}
 	msg := getMessage()
@@ -346,7 +346,7 @@ func (c *Comm) RecvFlag(src, tag int) error {
 	if err := c.validRank(src, false); err != nil {
 		return err
 	}
-	if c.p.world.topo.Hop(c.p.rank, c.ranks[src]) == sim.HopNet {
+	if !c.p.world.topo.SameNode(c.p.rank, c.ranks[src]) {
 		return fmt.Errorf("mpi: RecvFlag from rank %d on another node", src)
 	}
 	rr, err := c.postRecvReq(Sized(0), src, tag)

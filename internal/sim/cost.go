@@ -13,6 +13,16 @@ const (
 	HopShm
 	// HopNet is an inter-node hop through the interconnect.
 	HopNet
+	// HopNuma is a hop within one NUMA domain (inside the node level).
+	// Without a per-level cost override it prices like HopShm.
+	HopNuma
+	// HopSocket is a hop within one socket (inside the node level).
+	// Without a per-level cost override it prices like HopShm.
+	HopSocket
+	// HopGroup is a hop within one network group (electrical group,
+	// cabinet — outside the node level). Without a per-level cost
+	// override it prices like HopNet.
+	HopGroup
 )
 
 // String names the hop class for traces and error messages.
@@ -24,9 +34,32 @@ func (h HopClass) String() string {
 		return "shm"
 	case HopNet:
 		return "net"
+	case HopNuma:
+		return "numa"
+	case HopSocket:
+		return "socket"
+	case HopGroup:
+		return "group"
 	default:
 		return fmt.Sprintf("HopClass(%d)", int(h))
 	}
+}
+
+// SharedMemory reports whether the hop class stays within one node's
+// load/store domain.
+func (h HopClass) SharedMemory() bool {
+	switch h {
+	case HopSelf, HopShm, HopNuma, HopSocket:
+		return true
+	}
+	return false
+}
+
+// LevelCost is the per-level latency/bandwidth override a profile may
+// attach to the extended hop classes (HopNuma, HopSocket, HopGroup).
+type LevelCost struct {
+	Alpha         Time
+	BetaPsPerByte int64
 }
 
 // AllgatherAlg etc. enumerate the pure-MPI algorithm choices the tuning
@@ -125,6 +158,15 @@ type CostModel struct {
 	// larger messages rendezvous.
 	EagerLimit int
 
+	// LevelCosts carries optional per-level latency/bandwidth pairs
+	// for the extended hop classes of multi-level topologies
+	// (HopNuma, HopSocket, HopGroup). A class without an entry falls
+	// back to the shm pair (classes inside the node) or the net pair
+	// (classes outside it), so single-node-level topologies and
+	// profiles without overrides price bit-identically to the
+	// historical two-level model.
+	LevelCosts map[HopClass]LevelCost
+
 	// FlopsPerSecond is the modeled per-core compute rate used by the
 	// application kernels (SUMMA, BPMF) to charge virtual time for
 	// arithmetic.
@@ -151,15 +193,23 @@ func (m *CostModel) Validate() error {
 	case m.EagerLimit < 0:
 		return fmt.Errorf("sim: cost model %q has negative eager limit", m.Name)
 	}
+	for class, lc := range m.LevelCosts {
+		if lc.Alpha < 0 || lc.BetaPsPerByte < 0 {
+			return fmt.Errorf("sim: cost model %q has negative %s level cost", m.Name, class)
+		}
+	}
 	return nil
 }
 
 // Alpha returns the per-message latency for a hop class.
 func (m *CostModel) Alpha(class HopClass) Time {
+	if lc, ok := m.LevelCosts[class]; ok {
+		return lc.Alpha
+	}
 	switch class {
-	case HopNet:
+	case HopNet, HopGroup:
 		return m.NetAlpha
-	case HopShm:
+	case HopShm, HopNuma, HopSocket:
 		return m.ShmAlpha
 	default:
 		return m.MemAlpha
@@ -168,10 +218,13 @@ func (m *CostModel) Alpha(class HopClass) Time {
 
 // BetaPsPerByte returns the per-byte transfer cost for a hop class.
 func (m *CostModel) BetaPsPerByte(class HopClass) int64 {
+	if lc, ok := m.LevelCosts[class]; ok {
+		return lc.BetaPsPerByte
+	}
 	switch class {
-	case HopNet:
+	case HopNet, HopGroup:
 		return m.NetBetaPsPerByte
-	case HopShm:
+	case HopShm, HopNuma, HopSocket:
 		return m.ShmBetaPsPerByte
 	default:
 		return m.MemBetaPsPerByte

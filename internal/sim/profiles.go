@@ -37,6 +37,17 @@ func HazelHenCray() *CostModel {
 		RecvOverhead: 300 * Nanosecond,
 		EagerLimit:   8192,
 
+		// Per-level refinements for multi-level topologies (numa and
+		// socket sit inside the node; "group" is an Aries electrical
+		// group, cheaper than the global dragonfly path). Two-level
+		// topologies never produce these classes, so the defaults
+		// stay bit-identical.
+		LevelCosts: map[HopClass]LevelCost{
+			HopNuma:   {Alpha: 350 * Nanosecond, BetaPsPerByte: 95},
+			HopSocket: {Alpha: 500 * Nanosecond, BetaPsPerByte: 100},
+			HopGroup:  {Alpha: 1000 * Nanosecond, BetaPsPerByte: 115},
+		},
+
 		// Sustained per-core DGEMM rate on Haswell.
 		FlopsPerSecond: 8e9,
 
@@ -83,6 +94,14 @@ func VulcanOpenMPI() *CostModel {
 		SendOverhead: 350 * Nanosecond,
 		RecvOverhead: 350 * Nanosecond,
 		EagerLimit:   12288,
+
+		// InfiniBand fat-tree: a "group" is one leaf switch, with
+		// less locality benefit than Aries electrical groups.
+		LevelCosts: map[HopClass]LevelCost{
+			HopNuma:   {Alpha: 400 * Nanosecond, BetaPsPerByte: 100},
+			HopSocket: {Alpha: 550 * Nanosecond, BetaPsPerByte: 110},
+			HopGroup:  {Alpha: 1400 * Nanosecond, BetaPsPerByte: 150},
+		},
 
 		FlopsPerSecond: 8e9,
 
