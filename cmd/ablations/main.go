@@ -51,6 +51,7 @@ func run(model *sim.CostModel, shape []int, body func(p *mpi.Proc) error) (sim.T
 	if err != nil {
 		return 0, err
 	}
+	defer w.Close()
 	if err := w.Run(body); err != nil {
 		return 0, err
 	}
@@ -210,6 +211,7 @@ func npbKernels(model *sim.CostModel) error {
 				return err
 			}
 			res, err := npb.Run(w, npb.Config{Kernel: kernel, N: 2048, Iters: 8, Hybrid: hy})
+			w.Close()
 			if err != nil {
 				return err
 			}

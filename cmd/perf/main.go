@@ -6,16 +6,26 @@
 //
 //	go run ./cmd/perf -out BENCH_PR1.json [-baseline old.json] [-case regexp]
 //	go run ./cmd/perf -check -baseline BENCH_PR1.json [-case regexp]
-//	go run ./cmd/perf -sweep [-tuning policy=cost,...] -out BENCH_PR2.json
+//	go run ./cmd/perf -sweep coll,topo,scale [-tuning policy=cost,...] -out BENCH_PR4.json
+//	go run ./cmd/perf -sweep scale -scalemax 8192 [-cpuprofile cpu.pprof]
 //
 // With -baseline, the old report's numbers are embedded alongside the
 // new ones and per-case ns/op speedups are computed. With -check, the
 // run becomes a CI perf-regression gate: it exits non-zero when any
 // case is more than -maxslow times slower than the baseline (generous,
 // for noisy CI hosts) or exceeds the strict allocs/op ceiling
-// (allocations are deterministic, so they barely get slack). With
-// -sweep, the report additionally records the collective selection
-// engine's algorithm choices and crossover points per message size.
+// (allocations are deterministic, so they barely get slack).
+//
+// -sweep selects extra report dimensions (comma-separated, or "all"):
+//
+//	coll   the collective selection engine's algorithm choices and
+//	       crossover points per message size
+//	topo   the multi-level topology dimension (levels x ppn)
+//	scale  the scale-out dimension: size-only allgather/allreduce up to
+//	       -scalemax ranks, recording ns/op, peak goroutines, peak RSS
+//
+// -cpuprofile / -memprofile write pprof profiles covering the whole
+// run (cases plus sweeps), for digging into control-plane hot spots.
 package main
 
 import (
@@ -23,6 +33,9 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/coll"
@@ -36,15 +49,22 @@ func main() {
 	check := flag.Bool("check", false, "fail (exit 1) on regression vs -baseline")
 	maxSlow := flag.Float64("maxslow", 3.0, "-check: max allowed ns/op slowdown factor")
 	allocSlack := flag.Float64("allocslack", 1.10, "-check: allocs/op ceiling factor over baseline")
-	sweep := flag.Bool("sweep", false, "record the collective algorithm-selection sweep")
+	sweep := flag.String("sweep", "", "extra sweep dimensions: coll,topo,scale or all")
+	scaleMax := flag.Int("scalemax", 65536, "scale sweep: largest rank count to run")
 	tuningSpec := flag.String("tuning", "policy=cost",
 		"coll tuning spec for the sweep (see REPRO_COLL_TUNING)")
 	machine := flag.String("machine", "hazelhen-cray", "machine profile for the sweep")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
+
+	dims, err := parseSweep(*sweep)
+	if err != nil {
+		fatal(err)
+	}
 
 	var re *regexp.Regexp
 	if *caseRe != "" {
-		var err error
 		if re, err = regexp.Compile(*caseRe); err != nil {
 			fatal(err)
 		}
@@ -52,7 +72,6 @@ func main() {
 
 	var baseline *bench.WallReport
 	if *baselinePath != "" {
-		var err error
 		if baseline, err = bench.LoadWallReport(*baselinePath); err != nil {
 			fatal(err)
 		}
@@ -61,12 +80,31 @@ func main() {
 		fatal(fmt.Errorf("-check needs -baseline"))
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// fatal() and the -check exit both flush through stopCPUProfile:
+		// a deferred stop would be skipped by os.Exit, truncating the
+		// profile exactly when a regression is being investigated.
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			stopCPUProfile = func() {}
+		}
+		defer stopCPUProfile()
+	}
+
 	rep, err := run(re, baseline)
 	if err != nil {
 		fatal(err)
 	}
 
-	if *sweep {
+	if len(dims) > 0 {
 		tun, err := coll.ParseTuning(*tuningSpec)
 		if err != nil {
 			fatal(err)
@@ -75,12 +113,22 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown machine %q", *machine))
 		}
-		rep.CollSweep = bench.RunCollSweep(mk(), tun)
-		printSweep(rep.CollSweep)
-		if rep.TopoSweep, err = bench.RunTopoSweep(mk(), tun); err != nil {
-			fatal(err)
+		if dims["coll"] {
+			rep.CollSweep = bench.RunCollSweep(mk(), tun)
+			printSweep(rep.CollSweep)
 		}
-		printTopoSweep(rep.TopoSweep)
+		if dims["topo"] {
+			if rep.TopoSweep, err = bench.RunTopoSweep(mk(), tun); err != nil {
+				fatal(err)
+			}
+			printTopoSweep(rep.TopoSweep)
+		}
+		if dims["scale"] {
+			if rep.ScaleSweep, err = bench.RunScaleSweep(mk(), *scaleMax); err != nil {
+				fatal(err)
+			}
+			printScaleSweep(rep.ScaleSweep)
+		}
 	}
 
 	if *out != "" {
@@ -90,16 +138,51 @@ func main() {
 		fmt.Printf("wrote %s\n", *out)
 	}
 
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
 	if *check {
 		if violations := rep.CheckAgainst(baseline, *maxSlow, *allocSlack); len(violations) > 0 {
 			for _, v := range violations {
 				fmt.Fprintln(os.Stderr, "perf regression:", v)
 			}
+			stopCPUProfile()
 			os.Exit(1)
 		}
 		fmt.Printf("perf check passed vs %s (max slowdown %.1fx, alloc slack %.2fx)\n",
 			*baselinePath, *maxSlow, *allocSlack)
 	}
+}
+
+// parseSweep resolves the -sweep dimension list. The historical bare
+// boolean form ("-sweep" with no value) is gone; "all" selects every
+// dimension.
+func parseSweep(spec string) (map[string]bool, error) {
+	dims := map[string]bool{}
+	if spec == "" {
+		return dims, nil
+	}
+	if spec == "all" {
+		return map[string]bool{"coll": true, "topo": true, "scale": true}, nil
+	}
+	for _, d := range strings.Split(spec, ",") {
+		switch d = strings.TrimSpace(d); d {
+		case "coll", "topo", "scale":
+			dims[d] = true
+		default:
+			return nil, fmt.Errorf("unknown sweep dimension %q (want coll, topo, scale or all)", d)
+		}
+	}
+	return dims, nil
 }
 
 func run(re *regexp.Regexp, baseline *bench.WallReport) (*bench.WallReport, error) {
@@ -148,7 +231,21 @@ func printTopoSweep(s *bench.TopoSweepReport) {
 	}
 }
 
+func printScaleSweep(s *bench.ScaleSweepReport) {
+	fmt.Printf("\nscale-sweep (%s, up to %d ranks):\n", s.Model, s.MaxRanks)
+	for _, p := range s.Points {
+		fmt.Printf("  %-10s %5dx%-3d %7d ranks %10.1f ms/op  peakG %7d  peakRSS %5.0f MiB  virtual %10.2f us\n",
+			p.Coll, p.Nodes, p.PPN, p.Ranks, p.NsPerOp/1e6, p.PeakGoroutines,
+			float64(p.PeakRSSBytes)/(1<<20), p.VirtualUs)
+	}
+}
+
+// stopCPUProfile flushes the CPU profile (no-op until -cpuprofile
+// installs the real one); every os.Exit path must call it.
+var stopCPUProfile = func() {}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "perf:", err)
+	stopCPUProfile()
 	os.Exit(1)
 }

@@ -192,6 +192,7 @@ func Fig11(o FigOpts) ([]*Table, error) {
 					return nil, err
 				}
 				res, err := summa.Run(w, summa.Config{GridDim: grid, BlockDim: b, Hybrid: hybridRun})
+				w.Close()
 				if err != nil {
 					return nil, err
 				}
@@ -247,6 +248,7 @@ func Fig12(o FigOpts) (*Table, error) {
 			cfg := base
 			cfg.Hybrid = hybridRun
 			res, err := bpmf.Run(w, cfg)
+			w.Close()
 			if err != nil {
 				return nil, err
 			}

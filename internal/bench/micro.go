@@ -60,6 +60,7 @@ func HyAllgatherLatency(model *sim.CostModel, nodeSizes []int, bytesPerRank int,
 	if err != nil {
 		return 0, err
 	}
+	defer w.Close()
 	iters := o.iters()
 	err = w.Run(func(p *mpi.Proc) error {
 		ctx, err := hybrid.New(p.CommWorld(), hybrid.WithSync(o.Sync))
@@ -94,6 +95,7 @@ func PureAllgatherLatency(model *sim.CostModel, nodeSizes []int, bytesPerRank in
 	if err != nil {
 		return 0, err
 	}
+	defer w.Close()
 	iters := o.iters()
 	err = w.Run(func(p *mpi.Proc) error {
 		h, err := coll.NewHier(p.CommWorld())
@@ -126,6 +128,7 @@ func HyBcastLatency(model *sim.CostModel, nodeSizes []int, bytes int, o MicroOpt
 	if err != nil {
 		return 0, err
 	}
+	defer w.Close()
 	iters := o.iters()
 	err = w.Run(func(p *mpi.Proc) error {
 		ctx, err := hybrid.New(p.CommWorld(), hybrid.WithSync(o.Sync))
@@ -159,6 +162,7 @@ func PureBcastLatency(model *sim.CostModel, nodeSizes []int, bytes int, o MicroO
 	if err != nil {
 		return 0, err
 	}
+	defer w.Close()
 	iters := o.iters()
 	err = w.Run(func(p *mpi.Proc) error {
 		h, err := coll.NewHier(p.CommWorld())

@@ -28,6 +28,7 @@ func PingPong(model *sim.CostModel, sameNode bool, bytes, iters int) (sim.Time, 
 	if err != nil {
 		return 0, err
 	}
+	defer w.Close()
 	if iters <= 0 {
 		iters = 4
 	}

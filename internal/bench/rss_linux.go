@@ -1,0 +1,34 @@
+//go:build linux
+
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// peakRSSBytes reads the process resident-set high-water mark (VmHWM)
+// from /proc/self/status. The value is cumulative for the process, so a
+// sweep reports the high-water mark as of each point's completion.
+func peakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package bench
+
+import "runtime"
+
+// peakRSSBytes approximates the resident high-water mark on platforms
+// without /proc: the bytes the Go runtime obtained from the OS. Not a
+// true RSS, but monotone and comparable within one run.
+func peakRSSBytes() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// goroutineSampler polls the process goroutine count in the background
+// and keeps the high-water mark — the "how many parked rank workers did
+// this workload really hold" column of the wall-clock and scale
+// reports.
+type goroutineSampler struct {
+	max  atomic.Int64
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newGoroutineSampler() *goroutineSampler {
+	s := &goroutineSampler{quit: make(chan struct{})}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		tick := time.NewTicker(200 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.quit:
+				return
+			case <-tick.C:
+				if n := int64(runtime.NumGoroutine()); n > s.max.Load() {
+					s.max.Store(n)
+				}
+			}
+		}
+	}()
+	return s
+}
+
+func (s *goroutineSampler) stop() {
+	close(s.quit)
+	s.wg.Wait()
+}
+
+func (s *goroutineSampler) peak() int { return int(s.max.Load()) }

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/coll"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// The scale sweep is the scale-out dimension of cmd/perf -sweep: how
+// fast (in host time) the simulator executes collectives as the rank
+// count grows toward the 100k regime — 64x64 up to 1024x64 = 65,536
+// ranks, far beyond the paper's testbed. Payloads are size-only (no
+// data movement), so the measurement isolates the control plane: rank
+// pool dispatch, matcher traffic, coordinator fusion and geometry
+// setup. Each point records wall ns/op, the peak goroutine count and
+// the process peak RSS, which is what holds the scale-out engine
+// accountable across PRs.
+
+// ScalePoint is one (shape, collective) measurement.
+type ScalePoint struct {
+	Coll           string  `json:"coll"`
+	Nodes          int     `json:"nodes"`
+	PPN            int     `json:"ppn"`
+	Ranks          int     `json:"ranks"`
+	Bytes          int     `json:"bytes"` // payload bytes per rank
+	Iters          int     `json:"iters"`
+	NsPerOp        float64 `json:"ns_per_op"`       // setup + iters ops, divided by iters
+	SetupNs        float64 `json:"setup_ns"`        // world + communicator construction
+	VirtualUs      float64 `json:"virtual_us"`      // per-op virtual makespan (determinism anchor)
+	PeakGoroutines int     `json:"peak_goroutines"` // sampled during the point
+	PeakRSSBytes   int64   `json:"peak_rss_bytes"`  // process high-water mark after the point
+}
+
+// ScaleSweepReport is the scale section of a BENCH_*.json document.
+type ScaleSweepReport struct {
+	Model    string       `json:"model"`
+	MaxRanks int          `json:"max_ranks"`
+	Points   []ScalePoint `json:"points"`
+}
+
+// scaleShapes is the node-count ladder of the sweep at 64 ranks per
+// node: 4096, 8192, 16384 and 65536 ranks, capped by maxRanks (the CI
+// smoke job stops at the 8192 point).
+func scaleShapes(maxRanks int) [][2]int {
+	all := [][2]int{{64, 64}, {128, 64}, {256, 64}, {1024, 64}}
+	var out [][2]int
+	for _, s := range all {
+		if s[0]*s[1] <= maxRanks {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RunScaleSweep measures the scale dimension up to maxRanks ranks.
+func RunScaleSweep(model *sim.CostModel, maxRanks int) (*ScaleSweepReport, error) {
+	rep := &ScaleSweepReport{Model: model.Name, MaxRanks: maxRanks}
+	for _, shape := range scaleShapes(maxRanks) {
+		for _, collName := range []string{"allgather", "allreduce"} {
+			pt, err := runScalePoint(model, collName, shape[0], shape[1])
+			if err != nil {
+				return nil, fmt.Errorf("bench: scale sweep %s %dx%d: %w", collName, shape[0], shape[1], err)
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+	return rep, nil
+}
+
+func runScalePoint(model *sim.CostModel, collName string, nodes, ppn int) (ScalePoint, error) {
+	const bytesPerRank = 8
+	iters := 2
+	pt := ScalePoint{
+		Coll: collName, Nodes: nodes, PPN: ppn, Ranks: nodes * ppn,
+		Bytes: bytesPerRank, Iters: iters,
+	}
+
+	sampler := newGoroutineSampler()
+	start := time.Now()
+	topo, err := sim.Uniform(nodes, ppn)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	w, err := mpi.NewWorld(model, topo)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	var setup time.Duration
+	body := func(p *mpi.Proc) error {
+		switch collName {
+		case "allgather":
+			h, err := coll.NewHier(p.CommWorld())
+			if err != nil {
+				return err
+			}
+			if p.Rank() == 0 {
+				setup = time.Since(start)
+			}
+			send := mpi.Sized(bytesPerRank)
+			recv := mpi.Sized(bytesPerRank * p.Size())
+			for i := 0; i < iters; i++ {
+				if err := h.Allgather(send, recv, bytesPerRank); err != nil {
+					return err
+				}
+			}
+			return nil
+		case "allreduce":
+			c := p.CommWorld()
+			if p.Rank() == 0 {
+				setup = time.Since(start)
+			}
+			send := mpi.Sized(bytesPerRank)
+			recv := mpi.Sized(bytesPerRank)
+			for i := 0; i < iters; i++ {
+				if err := coll.Allreduce(c, send, recv, 1, mpi.Float64, mpi.OpSum); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("unknown scale collective %q", collName)
+		}
+	}
+	runErr := w.Run(body)
+	elapsed := time.Since(start)
+	virtual := sim.Time(0)
+	if runErr == nil {
+		virtual = w.MaxClock()
+	}
+	w.Close()
+	sampler.stop()
+	if runErr != nil {
+		return ScalePoint{}, runErr
+	}
+
+	pt.NsPerOp = float64(elapsed.Nanoseconds()) / float64(iters)
+	pt.SetupNs = float64(setup.Nanoseconds())
+	pt.VirtualUs = (virtual / sim.Time(iters)).Us()
+	pt.PeakGoroutines = sampler.peak()
+	pt.PeakRSSBytes = peakRSSBytes()
+	runtime.GC() // release the point's worlds before the next one
+	return pt, nil
+}

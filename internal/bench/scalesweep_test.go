@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestScaleSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4096-rank sweep in -short mode")
+	}
+	rep, err := RunScaleSweep(sim.HazelHenCray(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("got %d points for maxRanks=4096, want 2 (allgather+allreduce at 64x64)", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Ranks != 4096 {
+			t.Errorf("%s: %d ranks, want 4096", p.Coll, p.Ranks)
+		}
+		if p.NsPerOp <= 0 || p.VirtualUs <= 0 {
+			t.Errorf("%s: empty measurement (%v ns/op, %v virtual us)", p.Coll, p.NsPerOp, p.VirtualUs)
+		}
+		// The point's world holds one goroutine per rank while it runs;
+		// the sampler must have seen them.
+		if p.PeakGoroutines < p.Ranks {
+			t.Errorf("%s: peak goroutines %d below rank count %d", p.Coll, p.PeakGoroutines, p.Ranks)
+		}
+	}
+}
+
+func TestScaleShapesRespectCap(t *testing.T) {
+	for _, s := range scaleShapes(8192) {
+		if s[0]*s[1] > 8192 {
+			t.Errorf("shape %dx%d exceeds the 8192-rank cap", s[0], s[1])
+		}
+	}
+	full := scaleShapes(1 << 20)
+	last := full[len(full)-1]
+	if last[0]*last[1] < 65536 {
+		t.Errorf("full ladder tops out at %d ranks, want >= 65536", last[0]*last[1])
+	}
+}

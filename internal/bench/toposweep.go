@@ -113,6 +113,7 @@ func runTopoPoint(model *sim.CostModel, tun coll.Tuning, st topoStack, nodes, pp
 	if err != nil {
 		return TopoPoint{}, err
 	}
+	defer w.Close()
 	if err := w.Run(func(p *mpi.Proc) error {
 		h, err := coll.NewHierStack(p.CommWorld(), st.levels...)
 		if err != nil {
@@ -142,6 +143,7 @@ func runTopoPoint(model *sim.CostModel, tun coll.Tuning, st topoStack, nodes, pp
 	if err != nil {
 		return TopoPoint{}, err
 	}
+	defer w2.Close()
 	if err := w2.Run(func(p *mpi.Proc) error {
 		ctx, err := hybrid.New(p.CommWorld())
 		if err != nil {

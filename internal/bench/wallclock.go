@@ -5,10 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"testing"
-	"time"
 
 	"repro/internal/bpmf"
 	"repro/internal/mpi"
@@ -60,6 +57,10 @@ type WallReport struct {
 	// and hybrid allgather virtual times plus priced compositions per
 	// level stack and ppn (cmd/perf -sweep).
 	TopoSweep *TopoSweepReport `json:"topo_sweep,omitempty"`
+	// ScaleSweep records the scale-out dimension: wall ns/op, peak
+	// goroutines and peak RSS of size-only collectives up to 65,536
+	// ranks (cmd/perf -sweep scale).
+	ScaleSweep *ScaleSweepReport `json:"scale_sweep,omitempty"`
 }
 
 // WallCases returns the standard wall-clock workload set: the paper's
@@ -121,6 +122,7 @@ func WallCases() []WallCase {
 						return 0, err
 					}
 					res, err := summa.Run(w, summa.Config{GridDim: 8, BlockDim: 64, Hybrid: hy})
+					w.Close()
 					if err != nil {
 						return 0, err
 					}
@@ -143,6 +145,7 @@ func WallCases() []WallCase {
 				cfg := Fig12Config()
 				cfg.Iters = 4
 				res, err := bpmf.Run(w, cfg)
+				w.Close()
 				if err != nil {
 					return 0, err
 				}
@@ -158,25 +161,7 @@ func WallCases() []WallCase {
 func MeasureWall(c WallCase) (WallResult, error) {
 	var virtual sim.Time
 	var runErr error
-	var peak atomic.Int64
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		tick := time.NewTicker(200 * time.Microsecond)
-		defer tick.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-tick.C:
-				if n := int64(runtime.NumGoroutine()); n > peak.Load() {
-					peak.Store(n)
-				}
-			}
-		}
-	}()
+	sampler := newGoroutineSampler()
 
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -189,8 +174,7 @@ func MeasureWall(c WallCase) (WallResult, error) {
 			virtual = v
 		}
 	})
-	close(stop)
-	wg.Wait()
+	sampler.stop()
 	if runErr != nil {
 		return WallResult{}, fmt.Errorf("bench: %s: %w", c.Name, runErr)
 	}
@@ -199,7 +183,7 @@ func MeasureWall(c WallCase) (WallResult, error) {
 		NsPerOp:        float64(res.T.Nanoseconds()) / float64(res.N),
 		AllocsPerOp:    float64(res.AllocsPerOp()),
 		BytesPerOp:     float64(res.AllocedBytesPerOp()),
-		PeakGoroutines: int(peak.Load()),
+		PeakGoroutines: sampler.peak(),
 		Iters:          res.N,
 		VirtualUs:      virtual.Us(),
 	}, nil

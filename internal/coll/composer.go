@@ -31,6 +31,12 @@ type Composer struct {
 	shape   *compShape
 	myGroup []int // my group index per tier
 	mySlot  int   // my position in the level-sorted slot order
+
+	// Inline backing for the per-tier slices: stacks deeper than four
+	// levels (more than any machine hierarchy here declares) spill to
+	// the heap, everything else allocates nothing.
+	tierStore  [4]*mpi.Comm
+	groupStore [4]int
 }
 
 // tierShape describes every group of one tier, in leader (slot) order.
@@ -52,12 +58,13 @@ type compShape struct {
 	tiers      []tierShape
 }
 
-// compEntry is one member's contribution to the geometry plan: its comm
+// compEntry is one member's input to the geometry builder: its comm
 // rank, its rank within the innermost tier communicator, and per tier
 // it belongs to the *global* rank of that tier's leader (-1 when not a
-// member). Global leader ids need no extra exchange — they are
-// tiers[i].Global(0) — and the plan builder translates them back to
-// comm ranks with one inverted table.
+// member). The seed implementation exchanged these entries between all
+// members; they are fully derivable from the topology and the comm's
+// rank table, so the builder now synthesizes them locally (see
+// buildComposerGeom) and no exchange runs.
 type compEntry struct {
 	commRank int
 	sub0     int
@@ -69,94 +76,90 @@ type compEntry struct {
 // derives the per-tier group tables. Group order at every tier is
 // leader-comm-rank order (bridge order), matching the historical
 // node-sorted global rank array of hybrid Sect. 6.
-func buildCompShape(c *mpi.Comm, tiers int) func(vals []any) *compShape {
-	return func(vals []any) *compShape {
-		n := len(vals)
-		commOf := make(map[int]int, n) // global rank -> comm rank
-		for r, g := range c.Ranks() {
-			commOf[g] = r
-		}
-		entries := make([]compEntry, n)
-		byRank := make([]*compEntry, n)
-		for i, v := range vals {
-			entries[i] = v.(compEntry)
-			byRank[entries[i].commRank] = &entries[i]
-		}
-		// chain[r*tiers+t]: comm rank of r's tier-t leader, resolved
-		// transitively (only tier members know their own leader).
-		chain := make([]int, n*tiers)
-		for r := 0; r < n; r++ {
-			lead := r
-			for t := 0; t < tiers; t++ {
-				g := byRank[lead].leader[t]
-				if g < 0 {
-					return nil
-				}
-				var ok bool
-				if lead, ok = commOf[g]; !ok {
-					return nil
-				}
-				chain[r*tiers+t] = lead
-			}
-		}
-
-		order := make([]int, n)
-		for i := range order {
-			order[i] = i
-		}
-		sort.Slice(order, func(i, j int) bool {
-			a, b := order[i], order[j]
-			for t := tiers - 1; t >= 0; t-- {
-				if chain[a*tiers+t] != chain[b*tiers+t] {
-					return chain[a*tiers+t] < chain[b*tiers+t]
-				}
-			}
-			return byRank[a].sub0 < byRank[b].sub0
-		})
-
-		shape := &compShape{
-			slotToRank: make([]int, n),
-			rankToSlot: make([]int, n),
-			smp:        true,
-			tiers:      make([]tierShape, tiers),
-		}
-		for s, r := range order {
-			shape.slotToRank[s] = r
-			shape.rankToSlot[r] = s
-			if r != s {
-				shape.smp = false
-			}
-		}
-		// Group tables per tier: consecutive slot runs sharing the
-		// tier leader.
-		for t := 0; t < tiers; t++ {
-			ts := &shape.tiers[t]
-			lastLeader := -1
-			for s, r := range order {
-				if chain[r*tiers+t] != lastLeader {
-					ts.first = append(ts.first, s)
-					ts.size = append(ts.size, 0)
-					lastLeader = chain[r*tiers+t]
-				}
-				ts.size[len(ts.size)-1]++
-			}
-			if t > 0 {
-				below := &shape.tiers[t-1]
-				child := 0
-				for g := range ts.first {
-					ts.childLo = append(ts.childLo, child)
-					end := ts.first[g] + ts.size[g]
-					cnt := 0
-					for child < len(below.first) && below.first[child] < end {
-						child++
-						cnt++
-					}
-					ts.childN = append(ts.childN, cnt)
-				}
-			}
-		}
-		return shape
+func buildCompShape(ranks []int, tiers int, entries []compEntry) *compShape {
+	n := len(entries)
+	commOf := make(map[int]int, n) // global rank -> comm rank
+	for r, g := range ranks {
+		commOf[g] = r
 	}
+	byRank := make([]*compEntry, n)
+	for i := range entries {
+		byRank[entries[i].commRank] = &entries[i]
+	}
+	// chain[r*tiers+t]: comm rank of r's tier-t leader, resolved
+	// transitively (only tier members know their own leader).
+	chain := make([]int, n*tiers)
+	for r := 0; r < n; r++ {
+		lead := r
+		for t := 0; t < tiers; t++ {
+			g := byRank[lead].leader[t]
+			if g < 0 {
+				return nil
+			}
+			var ok bool
+			if lead, ok = commOf[g]; !ok {
+				return nil
+			}
+			chain[r*tiers+t] = lead
+		}
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		for t := tiers - 1; t >= 0; t-- {
+			if chain[a*tiers+t] != chain[b*tiers+t] {
+				return chain[a*tiers+t] < chain[b*tiers+t]
+			}
+		}
+		return byRank[a].sub0 < byRank[b].sub0
+	})
+
+	shape := &compShape{
+		slotToRank: make([]int, n),
+		rankToSlot: make([]int, n),
+		smp:        true,
+		tiers:      make([]tierShape, tiers),
+	}
+	for s, r := range order {
+		shape.slotToRank[s] = r
+		shape.rankToSlot[r] = s
+		if r != s {
+			shape.smp = false
+		}
+	}
+	// Group tables per tier: consecutive slot runs sharing the
+	// tier leader.
+	for t := 0; t < tiers; t++ {
+		ts := &shape.tiers[t]
+		lastLeader := -1
+		for s, r := range order {
+			if chain[r*tiers+t] != lastLeader {
+				ts.first = append(ts.first, s)
+				ts.size = append(ts.size, 0)
+				lastLeader = chain[r*tiers+t]
+			}
+			ts.size[len(ts.size)-1]++
+		}
+		if t > 0 {
+			below := &shape.tiers[t-1]
+			child := 0
+			for g := range ts.first {
+				ts.childLo = append(ts.childLo, child)
+				end := ts.first[g] + ts.size[g]
+				cnt := 0
+				for child < len(below.first) && below.first[child] < end {
+					child++
+					cnt++
+				}
+				ts.childN = append(ts.childN, cnt)
+			}
+		}
+	}
+	return shape
 }
 
 // NewComposer builds the leader tree over the given stack of topology
@@ -179,56 +182,68 @@ func NewComposer(c *mpi.Comm, levels []int) (*Composer, error) {
 		}
 	}
 	k := &Composer{comm: c, level: append([]int(nil), levels...)}
+	if len(levels) <= len(k.tierStore) {
+		k.tiers = k.tierStore[:0:len(levels)]
+	}
 
-	// Tier communicators, innermost first. Every split runs on the
-	// root communicator so the calls stay collective over all members;
-	// ranks that are not leaders of the tier below opt out.
-	var prev *mpi.Comm
-	for i, l := range levels {
-		color := mpi.Undefined
-		if i == 0 || (prev != nil && prev.Rank() == 0) {
-			color = topo.GroupOf(l, c.Global(c.Rank()))
-		}
-		sub, err := c.Split(color, c.Rank())
+	// The whole geometry — tier membership tables, slot order, context
+	// ids — is derived locally and shared through one SetupOnce slot:
+	// the tables come from the cross-world geometry cache, the context
+	// ids are assigned by whichever member builds the per-call plan
+	// first. No exchange runs; construction stays collective (every
+	// member must call, in the same order) but nobody waits on anybody.
+	v, err := mpi.SetupOnce(c, func() (any, error) {
+		geom, err := composerGeomFor(topo, c.Ranks(), levels)
 		if err != nil {
 			return nil, err
 		}
-		k.tiers = append(k.tiers, sub)
-		prev = sub
-	}
-	// Outermost leaders form the top communicator (the bridge of the
-	// two-level scheme). Ranks outside the leader chain opt out.
-	topColor := mpi.Undefined
-	if last := k.tiers[len(k.tiers)-1]; last != nil && last.Rank() == 0 {
-		topColor = 0
-	}
-	top, err := c.Split(topColor, c.Rank())
-	if err != nil {
-		return nil, err
-	}
-	k.top = top
-
-	// Every member announces its leader chain (leaders are the global
-	// rank at position 0 of each tier communicator — no extra exchange
-	// needed), then rank 0 assembles and publishes the shared geometry.
-	entry := compEntry{
-		commRank: c.Rank(),
-		sub0:     k.tiers[0].Rank(),
-		leader:   make([]int, len(levels)),
-	}
-	for i := range levels {
-		entry.leader[i] = -1
-		if k.tiers[i] != nil {
-			entry.leader[i] = k.tiers[i].Global(0)
+		w := c.Proc().World()
+		plan := &composerPlan{
+			geom:    geom,
+			tierCtx: make([][]int, len(levels)),
+			arena:   make([]mpi.Comm, geom.handles),
 		}
-	}
-	shape, err := mpi.SharePlan(c, entry, buildCompShape(c, len(levels)))
+		for t := range geom.tierRanks {
+			plan.tierCtx[t] = make([]int, len(geom.tierRanks[t]))
+			for g := range plan.tierCtx[t] {
+				plan.tierCtx[t][g] = w.NewContext()
+			}
+		}
+		plan.topCtx = w.NewContext()
+		return plan, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("coll: composer geometry plan rejected: %w", err)
 	}
+	plan := v.(*composerPlan)
+	geom := plan.geom
+
+	// Materialize this rank's tier communicators, innermost first, into
+	// this rank's run of the plan's shared handle arena; ranks that are
+	// not leaders of the tier below hold nil handles, exactly as the
+	// split-based construction produced.
+	me := c.Rank()
+	slot := geom.handleOff[me]
+	for t := range levels {
+		var sub *mpi.Comm
+		if gi := geom.tierGroup[t][me]; gi >= 0 {
+			sub = c.InitGroupComm(&plan.arena[slot], plan.tierCtx[t][gi], geom.tierRanks[t][gi], int(geom.tierRank[t][me]))
+			slot++
+		}
+		k.tiers = append(k.tiers, sub)
+	}
+	if tr := geom.topRank[me]; tr >= 0 {
+		k.top = c.InitGroupComm(&plan.arena[slot], plan.topCtx, geom.topRanks, int(tr))
+	}
+
+	shape := geom.shape
 	k.shape = shape
-	k.mySlot = shape.rankToSlot[c.Rank()]
-	k.myGroup = make([]int, len(levels))
+	k.mySlot = shape.rankToSlot[me]
+	if len(levels) <= len(k.groupStore) {
+		k.myGroup = k.groupStore[:len(levels)]
+	} else {
+		k.myGroup = make([]int, len(levels))
+	}
 	for t := range levels {
 		ts := &shape.tiers[t]
 		g := sort.SearchInts(ts.first, k.mySlot+1) - 1

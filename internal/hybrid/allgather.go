@@ -52,6 +52,8 @@ func (c *Ctx) NewAllgatherer(per int, opts ...AllgatherOption) (*Allgatherer, er
 // agree across members, as MPI_Allgatherv requires, so the leader's
 // copy is everyone's copy).
 type agPlan struct {
+	uniform    int // >= 0: every count is this value (O(1) validation)
+	total      int // sum of counts
 	counts     []int
 	displs     []int
 	nodeCounts []int
@@ -84,15 +86,14 @@ func (c *Ctx) newAllgatherer(counts []int, per int, opts []AllgatherOption) (*Al
 		o(a)
 	}
 
-	// Slot-ordered geometry (node-major layout), built once by comm
-	// rank 0 and shared read-only. Unlike the mpi.SharePlan sites,
-	// there is no contribution round: rank 0 computes from its own
-	// arguments, which both constructors have already validated and
-	// which members must pass identically (MPI_Allgatherv semantics),
-	// so this is a publish-only exchange.
-	var plan *agPlan
-	if c.comm.Rank() == 0 {
-		plan = &agPlan{counts: make([]int, c.comm.Size())}
+	// Slot-ordered geometry (node-major layout), built once per
+	// collective call and shared read-only through the world's setup
+	// slot (mpi.SetupOnce) — no exchange runs at all: the plan is fully
+	// determined by the context geometry and the (identical, per
+	// MPI_Allgatherv semantics) member arguments, so whichever member
+	// arrives first computes it for everyone.
+	v, err := mpi.SetupOnce(c.comm, func() (any, error) {
+		plan := &agPlan{uniform: -1, counts: make([]int, c.comm.Size())}
 		for slot := range plan.counts {
 			if counts != nil {
 				plan.counts[slot] = counts[c.RankAt(slot)]
@@ -100,6 +101,10 @@ func (c *Ctx) newAllgatherer(counts []int, per int, opts []AllgatherOption) (*Al
 				plan.counts[slot] = per
 			}
 		}
+		if counts == nil {
+			plan.uniform = per
+		}
+		plan.total = coll.Total(plan.counts)
 		plan.displs = coll.Displs(plan.counts)
 		plan.nodeCounts = make([]int, c.Nodes())
 		plan.nodeDispls = make([]int, c.Nodes())
@@ -110,20 +115,35 @@ func (c *Ctx) newAllgatherer(counts []int, per int, opts []AllgatherOption) (*Al
 				plan.nodeCounts[n] += plan.counts[s]
 			}
 		}
+		return plan, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	published := c.comm.Setup(plan)
-	plan = published[0].(*agPlan)
-	// Members must have passed the same geometry rank 0 built the plan
+	plan := v.(*agPlan)
+	// Members must have passed the same geometry the plan was built
 	// from; a divergent local vector is an application bug that must
-	// fail loudly, not silently run with rank 0's placement.
-	for slot, cnt := range plan.counts {
-		want := per
-		if counts != nil {
-			want = counts[c.RankAt(slot)]
+	// fail loudly, not silently run with the builder's placement. The
+	// uniform case compares one value; the irregular variant checks its
+	// whole vector.
+	if counts == nil {
+		if plan.uniform != per {
+			// Mixed constructors (a member passed an explicitly
+			// uniform vector to the V variant) still agree when every
+			// slot holds per; only then is the geometry identical.
+			for slot, cnt := range plan.counts {
+				if cnt != per {
+					return nil, fmt.Errorf("hybrid: allgather counts diverge across ranks (slot %d: builder has %d, this rank has %d)",
+						slot, cnt, per)
+				}
+			}
 		}
-		if cnt != want {
-			return nil, fmt.Errorf("hybrid: allgather counts diverge across ranks (slot %d: rank 0 has %d, this rank has %d)",
-				slot, cnt, want)
+	} else {
+		for slot, cnt := range plan.counts {
+			if want := counts[c.RankAt(slot)]; cnt != want {
+				return nil, fmt.Errorf("hybrid: allgather counts diverge across ranks (slot %d: builder has %d, this rank has %d)",
+					slot, cnt, want)
+			}
 		}
 	}
 	a.counts = plan.counts
@@ -133,12 +153,8 @@ func (c *Ctx) newAllgatherer(counts []int, per int, opts []AllgatherOption) (*Al
 
 	// Fig. 4 lines 13-16: only the leader asks for the contiguous
 	// node memory; children query its base.
-	total := coll.Total(a.counts)
-	mySize := 0
-	if c.IsLeader() {
-		mySize = total
-	}
-	win, err := mpi.WinAllocateShared(c.node, mySize)
+	total := plan.total
+	win, err := mpi.WinAllocateLeader(c.node, total)
 	if err != nil {
 		return nil, err
 	}

@@ -30,19 +30,11 @@ func (c *Ctx) NewAllreducer(count int, dt mpi.Datatype) (*Allreducer, error) {
 		return nil, fmt.Errorf("hybrid: negative element count %d", count)
 	}
 	bytes := count * dt.Size()
-	mySize := 0
-	if c.IsLeader() {
-		mySize = bytes * c.node.Size()
-	}
-	inWin, err := mpi.WinAllocateShared(c.node, mySize)
+	inWin, err := mpi.WinAllocateLeader(c.node, bytes*c.node.Size())
 	if err != nil {
 		return nil, err
 	}
-	mySize = 0
-	if c.IsLeader() {
-		mySize = bytes
-	}
-	outWin, err := mpi.WinAllocateShared(c.node, mySize)
+	outWin, err := mpi.WinAllocateLeader(c.node, bytes)
 	if err != nil {
 		return nil, err
 	}

@@ -39,15 +39,11 @@ func (c *Ctx) NewAlltoaller(per int) (*Alltoaller, error) {
 	}
 	size := c.comm.Size()
 	rowBytes := size * per
-	mySize := 0
-	if c.IsLeader() {
-		mySize = c.node.Size() * rowBytes
-	}
-	sendWin, err := mpi.WinAllocateShared(c.node, mySize)
+	sendWin, err := mpi.WinAllocateLeader(c.node, c.node.Size()*rowBytes)
 	if err != nil {
 		return nil, err
 	}
-	recvWin, err := mpi.WinAllocateShared(c.node, mySize)
+	recvWin, err := mpi.WinAllocateLeader(c.node, c.node.Size()*rowBytes)
 	if err != nil {
 		return nil, err
 	}

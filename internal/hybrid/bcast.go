@@ -23,11 +23,7 @@ func (c *Ctx) NewBcaster(size int) (*Bcaster, error) {
 	if size < 0 {
 		return nil, fmt.Errorf("hybrid: negative bcast size %d", size)
 	}
-	mySize := 0
-	if c.IsLeader() {
-		mySize = size
-	}
-	win, err := mpi.WinAllocateShared(c.node, mySize)
+	win, err := mpi.WinAllocateLeader(c.node, size)
 	if err != nil {
 		return nil, err
 	}

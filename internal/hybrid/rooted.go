@@ -29,11 +29,7 @@ func (c *Ctx) NewGatherer(per int) (*Gatherer, error) {
 		return nil, fmt.Errorf("hybrid: negative block size %d", per)
 	}
 	total := per * c.comm.Size()
-	mySize := 0
-	if c.IsLeader() {
-		mySize = total
-	}
-	win, err := mpi.WinAllocateShared(c.node, mySize)
+	win, err := mpi.WinAllocateLeader(c.node, total)
 	if err != nil {
 		return nil, err
 	}
@@ -118,11 +114,7 @@ func (c *Ctx) NewScatterer(per int) (*Scatterer, error) {
 		return nil, fmt.Errorf("hybrid: negative block size %d", per)
 	}
 	total := per * c.comm.Size()
-	mySize := 0
-	if c.IsLeader() {
-		mySize = total
-	}
-	win, err := mpi.WinAllocateShared(c.node, mySize)
+	win, err := mpi.WinAllocateLeader(c.node, total)
 	if err != nil {
 		return nil, err
 	}
@@ -210,19 +202,11 @@ func (c *Ctx) NewReducer(count int, dt mpi.Datatype) (*Reducer, error) {
 		return nil, fmt.Errorf("hybrid: negative element count %d", count)
 	}
 	bytes := count * dt.Size()
-	mySize := 0
-	if c.IsLeader() {
-		mySize = bytes * c.node.Size()
-	}
-	inWin, err := mpi.WinAllocateShared(c.node, mySize)
+	inWin, err := mpi.WinAllocateLeader(c.node, bytes*c.node.Size())
 	if err != nil {
 		return nil, err
 	}
-	mySize = 0
-	if c.IsLeader() {
-		mySize = bytes
-	}
-	outWin, err := mpi.WinAllocateShared(c.node, mySize)
+	outWin, err := mpi.WinAllocateLeader(c.node, bytes)
 	if err != nil {
 		return nil, err
 	}

@@ -62,13 +62,16 @@ func TestAbortWakesShmBarrier(t *testing.T) {
 }
 
 func TestAbortWakesSplit(t *testing.T) {
-	// Communicator construction must abort too.
+	// Exchange-based communicator construction must abort too. (The
+	// derived SplitLevel/SplitTypeShared path never rendezvouses — a
+	// member computes the partition locally and cannot be stranded —
+	// so the generic color Split is the path that needs waking.)
 	w := newTestWorld(t, 2, 2)
 	err := w.Run(func(p *Proc) error {
 		if p.Rank() == 1 {
 			return errors.New("deserter")
 		}
-		_, err := p.CommWorld().SplitTypeShared()
+		_, err := p.CommWorld().Split(0, p.Rank())
 		return err
 	})
 	if err == nil || !errors.Is(err, ErrAborted) {

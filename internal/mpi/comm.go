@@ -3,7 +3,6 @@ package mpi
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/sim"
 )
@@ -32,6 +31,12 @@ type Comm struct {
 	// world or a parent communicator was configured with.
 	collCfg any
 
+	// ctree/cfuser cache the communicator's clock-fusion engine (see
+	// coord.go) after the first FuseClocks, so the steady-state fusion
+	// path touches no shared maps at all.
+	ctree  *clockTree
+	cfuser *clockFuser
+
 	oneNode int8 // cached single-node test: 0 unknown, 1 yes, -1 no
 	hopCl   int8 // cached comm-wide hop class: 0 unknown, else class+1
 }
@@ -42,7 +47,8 @@ type Comm struct {
 // every call site must observe the same sequence counter.
 func (p *Proc) CommWorld() *Comm {
 	if p.commWorld == nil {
-		p.commWorld = &Comm{p: p, ctx: 0, ranks: p.world.identity, rank: p.rank, collCfg: p.world.collCfg}
+		p.cw = Comm{p: p, ctx: 0, ranks: p.world.identity, rank: p.rank, collCfg: p.world.collCfg}
+		p.commWorld = &p.cw
 		p.world.match.reserve(0, p.rank)
 	}
 	return p.commWorld
@@ -111,12 +117,29 @@ func SharePlan[T any](c *Comm, val any, build func(vals []any) *T) (*T, error) {
 
 // FuseClocks performs an untimed max-reduction of the members' virtual
 // clocks. It is the repeatedly-invoked core of the shared-memory
-// synchronization primitives (flag barriers, epoch counters), so unlike
-// Setup it avoids boxing every value through the generic exchange. The
-// timed cost of the modeled synchronization is charged by the caller.
+// synchronization primitives (flag barriers, epoch counters), so it
+// avoids the session machinery entirely: each communicator context
+// owns a persistent fusion engine, cached on the handle — a pooled
+// counter cell for small communicators, a binary channel tree for
+// large ones (see coord.go). No per-call session key is needed — but
+// like every collective, all members must call FuseClocks in the same
+// order. The timed cost of the modeled synchronization is charged by
+// the caller.
 func (c *Comm) FuseClocks(t sim.Time) sim.Time {
-	key := coordKey{ctx: c.ctx, seq: c.nextSeq()}
-	return c.p.world.coord.fuseClocks(key, len(c.ranks), t, c.p.world.abortCh)
+	n := len(c.ranks)
+	if n == 1 {
+		return t
+	}
+	if n < clockTreeMin {
+		if c.cfuser == nil {
+			c.cfuser = c.p.world.coord.clockFuser(c.ctx)
+		}
+		return c.cfuser.fuse(n, t)
+	}
+	if c.ctree == nil {
+		c.ctree = c.p.world.coord.clockTree(c.ctx, n)
+	}
+	return c.ctree.fuse(c.rank, t, c.p.world.abortCh)
 }
 
 type splitEntry struct {
@@ -263,19 +286,25 @@ func (c *Comm) HopClass() sim.HopClass {
 // topology group, the level-indexed generalization of
 // MPI_Comm_split_type: every member lands in the communicator of its
 // numa domain, socket, node or network group, ordered by parent rank.
+//
+// The partition is fully determined by the topology and the parent's
+// rank table, so no exchange runs: the shape comes from the cross-world
+// geometry cache and one member assigns the context ids (derive.go).
+// The result is member-for-member identical to the generic
+// Split(GroupOf(l, rank), rank).
 func (c *Comm) SplitLevel(l int) (*Comm, error) {
 	topo := c.p.world.topo
 	if l < 0 || l >= topo.NumLevels() {
 		return nil, fmt.Errorf("mpi: SplitLevel(%d) on a %d-level topology", l, topo.NumLevels())
 	}
-	return c.Split(topo.GroupOf(l, c.p.rank), c.rank)
+	return c.splitLevelDerived(l)
 }
 
 // SplitTypeShared splits the communicator into shared-memory groups, one
 // per node — MPI_Comm_split_type(MPI_COMM_TYPE_SHARED). This is the
 // first step of the paper's hierarchical communicator setup (Fig. 1a).
 func (c *Comm) SplitTypeShared() (*Comm, error) {
-	return c.Split(c.p.Node(), c.rank)
+	return c.SplitLevel(c.p.world.topo.NodeLevel())
 }
 
 // SplitLeaders builds the leader communicator over a sub-communicator
@@ -302,103 +331,4 @@ func (c *Comm) SplitBridge(nodeComm *Comm) (*Comm, error) {
 // isolating its traffic from the parent's.
 func (c *Comm) Dup() (*Comm, error) {
 	return c.Split(0, c.rank)
-}
-
-// coordinator implements the untimed rendezvous used by exchange.
-type coordKey struct{ ctx, seq int }
-
-type coordSession struct {
-	vals      []any
-	remaining int
-	released  int
-	done      chan struct{}
-}
-
-// clockSession is the typed sibling of coordSession for FuseClocks:
-// one running max instead of a boxed value vector.
-type clockSession struct {
-	max       sim.Time
-	remaining int
-	released  int
-	done      chan struct{}
-}
-
-type coordinator struct {
-	mu       sync.Mutex
-	sessions map[coordKey]*coordSession
-	clocks   map[coordKey]*clockSession
-}
-
-func newCoordinator() *coordinator {
-	return &coordinator{
-		sessions: map[coordKey]*coordSession{},
-		clocks:   map[coordKey]*clockSession{},
-	}
-}
-
-// fuseClocks blocks until all size members of the (ctx, seq) session
-// have contributed their clock, then returns the maximum to each. Abort
-// handling matches exchange.
-func (co *coordinator) fuseClocks(key coordKey, size int, t sim.Time, abort <-chan struct{}) sim.Time {
-	co.mu.Lock()
-	s := co.clocks[key]
-	if s == nil {
-		s = &clockSession{remaining: size, done: make(chan struct{})}
-		co.clocks[key] = s
-	}
-	if t > s.max {
-		s.max = t
-	}
-	s.remaining--
-	if s.remaining == 0 {
-		close(s.done)
-	}
-	co.mu.Unlock()
-
-	select {
-	case <-s.done:
-	case <-abort:
-		panic(ErrAborted)
-	}
-
-	co.mu.Lock()
-	s.released++
-	if s.released == size {
-		delete(co.clocks, key)
-	}
-	co.mu.Unlock()
-	return s.max
-}
-
-// exchange blocks until all size members of the (ctx, seq) session have
-// contributed, then returns the full contribution vector to each. If
-// the job aborts while waiting, exchange panics with ErrAborted; the
-// panic is recovered by World.Run and reported as the rank's error.
-func (co *coordinator) exchange(key coordKey, rank, size int, val any, abort <-chan struct{}) []any {
-	co.mu.Lock()
-	s := co.sessions[key]
-	if s == nil {
-		s = &coordSession{vals: make([]any, size), remaining: size, done: make(chan struct{})}
-		co.sessions[key] = s
-	}
-	s.vals[rank] = val
-	s.remaining--
-	if s.remaining == 0 {
-		close(s.done)
-	}
-	co.mu.Unlock()
-
-	select {
-	case <-s.done:
-	case <-abort:
-		panic(ErrAborted)
-	}
-
-	co.mu.Lock()
-	s.released++
-	if s.released == size {
-		delete(co.sessions, key)
-	}
-	co.mu.Unlock()
-	return s.vals
 }

@@ -1,0 +1,182 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Coordinator hygiene: completed exchange sessions must be deleted and
+// their records recycled (the seed's maps grew without bound across
+// communicator creations), and the clock-fusion engines must be
+// allocation-lean at steady state.
+
+func TestExchangeSessionsDeletedAfterRun(t *testing.T) {
+	w := newTestWorld(t, 2, 4)
+	defer w.Close()
+	err := w.Run(func(p *Proc) error {
+		// Exchange-based construction: generic Split and a window.
+		sub, err := p.CommWorld().Split(p.Rank()%2, p.Rank())
+		if err != nil {
+			return err
+		}
+		if _, err := sub.Dup(); err != nil {
+			return err
+		}
+		node, err := p.CommWorld().SplitTypeShared()
+		if err != nil {
+			return err
+		}
+		_, err = WinAllocateShared(node, 8)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := w.coord.sessionCount(); n != 0 {
+		t.Errorf("%d exchange sessions left after Run; completed sessions must be deleted", n)
+	}
+}
+
+func TestSetupExchangeAllocationLean(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc counts are meaningless")
+	}
+	// A single-member communicator completes its session at contribute
+	// time, exercising the create/complete/release/pool cycle without
+	// needing a peer goroutine.
+	w, err := NewWorld(sim.Laptop(), sim.MustUniform(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c := w.Proc(0).CommWorld()
+	for i := 0; i < 32; i++ {
+		c.Setup(i)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		c.Setup(7)
+	})
+	// The returned contribution vector escapes (one allocation); the
+	// session record itself must come from the pool.
+	if avg >= 3 {
+		t.Errorf("Setup allocates %.2f objects/op, want <= 2 (pooled session records)", avg)
+	}
+}
+
+func TestFuseClocksSteadyStateAllocationLean(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc counts are meaningless")
+	}
+	w := newTestWorld(t, 1, 4)
+	defer w.Close()
+	body := func(p *Proc) error { return p.CommWorld().Barrier() } // shm barrier -> FuseClocks
+	for i := 0; i < 16; i++ {
+		if err := w.Run(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := w.Run(body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Per Run: one pooled fusion round plus its lazily-created done
+	// channel; everything else must be recycled.
+	if avg >= 8 {
+		t.Errorf("shm-barrier Run allocates %.2f objects/op, want a handful (pooled fusion rounds)", avg)
+	}
+}
+
+func TestClockTreeLargeCommFusion(t *testing.T) {
+	// A single node wider than clockTreeMin routes FuseClocks through
+	// the tree engine; the fused max must still be exact.
+	w, err := NewWorld(sim.Laptop(), sim.MustUniform(1, clockTreeMin+3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		got := c.FuseClocks(sim.Time(100 + p.Rank()))
+		want := sim.Time(100 + p.Size() - 1)
+		if got != want {
+			t.Errorf("rank %d: fused max %v, want %v", p.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelShapeCachedAcrossWorlds(t *testing.T) {
+	topo := sim.MustUniform(3, 4)
+	s1 := levelShapeFor(topo, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 0)
+	s2 := levelShapeFor(topo, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 0)
+	if s1 != s2 {
+		t.Error("identical (topology, membership, level) did not hit the shape cache")
+	}
+	s3 := levelShapeFor(topo, []int{0, 1, 2, 3}, 0)
+	if s3 == s1 {
+		t.Error("different membership shares a cached shape")
+	}
+	if len(s1.groups) != 3 || len(s3.groups) != 1 {
+		t.Errorf("group counts %d/%d, want 3/1", len(s1.groups), len(s3.groups))
+	}
+}
+
+func TestSplitLevelRepeatedCallsAreIsolated(t *testing.T) {
+	// Two SplitLevel calls on the same parent must produce distinct
+	// communicators (fresh contexts) with identical membership, like
+	// the exchange-based Split did.
+	w := newTestWorld(t, 2, 3)
+	defer w.Close()
+	err := w.Run(func(p *Proc) error {
+		world := p.CommWorld()
+		a, err := world.SplitTypeShared()
+		if err != nil {
+			return err
+		}
+		b, err := world.SplitTypeShared()
+		if err != nil {
+			return err
+		}
+		if a == b {
+			t.Error("repeated SplitLevel returned the same handle")
+		}
+		if a.Size() != b.Size() || a.Rank() != b.Rank() {
+			t.Errorf("repeated SplitLevel disagrees: %d/%d vs %d/%d", a.Size(), a.Rank(), b.Size(), b.Rank())
+		}
+		// Traffic must not cross between the two: post on `a`, then
+		// exchange on `b` with the same tag; the `a` message may only
+		// be consumed by the `a` receive.
+		if a.Size() == 3 {
+			peer := (a.Rank() + 1) % 3
+			prev := (a.Rank() + 2) % 3
+			if err := a.Send(Sized(4), peer, 9); err != nil {
+				return err
+			}
+			if err := b.Send(Sized(8), peer, 9); err != nil {
+				return err
+			}
+			st, err := b.Recv(Sized(8), prev, 9)
+			if err != nil {
+				return err
+			}
+			if st.Bytes != 8 {
+				t.Errorf("rank %d: context leak — b received the a message (%d bytes)", p.Rank(), st.Bytes)
+			}
+			if st, err = a.Recv(Sized(4), prev, 9); err != nil {
+				return err
+			}
+			if st.Bytes != 4 {
+				t.Errorf("rank %d: a received %d bytes, want 4", p.Rank(), st.Bytes)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,7 +2,9 @@ package mpi
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -110,15 +112,56 @@ func cloneEager(b Buf) (Buf, *[]byte) {
 
 func putEagerStore(p *[]byte) { eagerBytesPool.Put(p) }
 
+// abortClock is the poison timestamp delivered to blocked waiters when
+// the job aborts: instead of every wait being a two-way select against
+// the abort channel (the select machinery is measurable on the hot
+// path), Abort walks the queues once and feeds each parked waiter this
+// sentinel through the channel it is already blocked on. Legitimate
+// completion times are never negative.
+const abortClock = sim.Time(math.MinInt64)
+
 // matcher pairs posted sends with posted receives. It is sharded by
 // destination rank so that large jobs do not serialize on one lock.
 type matcher struct {
-	shards []matchShard
+	shards  []matchShard
+	aborted atomic.Bool
+
+	// Queue arena: rank queues for all shards are cut from shared
+	// chunks (setup-path only, so one extra mutex is harmless), which
+	// turns "one allocation per (rank, communicator)" into a handful
+	// of chunk allocations per world.
+	arenaMu sync.Mutex
+	arena   []rankQueue
+}
+
+// newQueue cuts one rank queue from the arena. Pointers stay valid:
+// chunks are never reallocated, a fresh chunk is cut when one runs out.
+func (m *matcher) newQueue() *rankQueue {
+	m.arenaMu.Lock()
+	if len(m.arena) == 0 {
+		m.arena = make([]rankQueue, 256)
+	}
+	q := &m.arena[0]
+	m.arena = m.arena[1:]
+	m.arenaMu.Unlock()
+	return q
 }
 
 type matchShard struct {
-	mu    sync.Mutex
-	byCtx []*rankQueue // context id -> queue (context ids are small and dense)
+	mu     sync.Mutex
+	queues []ctxQueue  // tiny per-rank context table, linear scan
+	qstore [3]ctxQueue // its inline backing: no heap for ≤3 comms
+}
+
+// ctxQueue maps one context id to its queue. A rank only ever belongs
+// to a handful of communicators (world, its node/tier comms, maybe a
+// leader comm), so a linear scan over a 2-4 entry slice beats a dense
+// context-indexed array: the seed's byCtx slices re-grew toward the
+// world's highest context id on every shard, which was the single
+// largest allocation source at Fig. 9 scale.
+type ctxQueue struct {
+	ctx int
+	q   *rankQueue
 }
 
 // fifo is a head-indexed queue: the overwhelmingly common FIFO match
@@ -183,31 +226,21 @@ func (m *matcher) sizeTo(n int) {
 func (m *matcher) reserve(ctx, dst int) {
 	s := m.shard(dst)
 	s.mu.Lock()
-	s.queue(ctx)
+	s.queue(m, ctx)
 	s.mu.Unlock()
 }
 
-func (s *matchShard) queue(ctx int) *rankQueue {
-	if ctx < len(s.byCtx) {
-		if q := s.byCtx[ctx]; q != nil {
-			return q
+func (s *matchShard) queue(m *matcher, ctx int) *rankQueue {
+	for i := range s.queues {
+		if s.queues[i].ctx == ctx {
+			return s.queues[i].q
 		}
-	} else if ctx < cap(s.byCtx) {
-		s.byCtx = s.byCtx[:ctx+1]
-	} else {
-		// Grow with headroom: context ids are issued sequentially,
-		// so exact-fit growth would reallocate on every new
-		// communicator.
-		newCap := 2 * cap(s.byCtx)
-		if newCap < ctx+1 {
-			newCap = ctx + 1
-		}
-		grown := make([]*rankQueue, ctx+1, newCap)
-		copy(grown, s.byCtx)
-		s.byCtx = grown
 	}
-	q := &rankQueue{}
-	s.byCtx[ctx] = q
+	q := m.newQueue()
+	if s.queues == nil {
+		s.queues = s.qstore[:0:len(s.qstore)]
+	}
+	s.queues = append(s.queues, ctxQueue{ctx: ctx, q: q})
 	return q
 }
 
@@ -220,37 +253,74 @@ func (r *recvReq) matches(m *message) bool {
 }
 
 // postSend enqueues a send or pairs it with a waiting receive. It
-// returns the matched receive (nil if queued).
-func (m *matcher) postSend(ctx int, msg *message) *recvReq {
+// returns the matched receive (nil if queued), or ErrAborted on a
+// poisoned matcher: the abort flag is checked under the shard lock, so
+// a post either lands before Abort's poison walk (which then wakes it)
+// or observes the flag — a waiter can never be stranded.
+func (m *matcher) postSend(ctx int, msg *message) (*recvReq, error) {
 	s := m.shard(msg.dst)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	q := s.queue(ctx)
+	if m.aborted.Load() {
+		return nil, ErrAborted
+	}
+	q := s.queue(m, ctx)
 	for i := q.recvs.head; i < len(q.recvs.items); i++ {
 		if r := q.recvs.items[i]; r.matches(msg) {
 			q.recvs.remove(i)
-			return r
+			return r, nil
 		}
 	}
 	q.sends.push(msg)
-	return nil
+	return nil, nil
 }
 
 // postRecv enqueues a receive or pairs it with a waiting send. It
-// returns the matched send (nil if queued).
-func (m *matcher) postRecv(ctx, dst int, r *recvReq) *message {
+// returns the matched send (nil if queued); abort handling matches
+// postSend.
+func (m *matcher) postRecv(ctx, dst int, r *recvReq) (*message, error) {
 	s := m.shard(dst)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	q := s.queue(ctx)
+	if m.aborted.Load() {
+		return nil, ErrAborted
+	}
+	q := s.queue(m, ctx)
 	for i := q.sends.head; i < len(q.sends.items); i++ {
 		if msg := q.sends.items[i]; r.matches(msg) {
 			q.sends.remove(i)
-			return msg
+			return msg, nil
 		}
 	}
 	q.recvs.push(r)
-	return nil
+	return nil, nil
+}
+
+// poison wakes every queued waiter with the abortClock sentinel and
+// flips the matcher into its poisoned state (all later posts fail with
+// ErrAborted). Called once, from Abort.
+func (m *matcher) poison() {
+	m.aborted.Store(true)
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for _, cq := range s.queues {
+			q := cq.q
+			for j := q.recvs.head; j < len(q.recvs.items); j++ {
+				q.recvs.items[j].result <- recvResult{at: abortClock}
+			}
+			q.recvs.items = q.recvs.items[:0]
+			q.recvs.head = 0
+			for j := q.sends.head; j < len(q.sends.items); j++ {
+				if msg := q.sends.items[j]; !msg.eager {
+					msg.done <- abortClock
+				}
+			}
+			q.sends.items = q.sends.items[:0]
+			q.sends.head = 0
+		}
+		s.mu.Unlock()
+	}
 }
 
 // complete computes the virtual-time semantics of a matched pair, moves
@@ -333,7 +403,11 @@ func (c *Comm) SendFlag(dst, tag int) error {
 		postClock: c.p.clock,
 		done:      msg.done,
 	}
-	if r := w.match.postSend(c.ctx, msg); r != nil {
+	r, err := w.match.postSend(c.ctx, msg)
+	if err != nil {
+		return err
+	}
+	if r != nil {
 		w.complete(msg, r)
 	}
 	c.p.advance(w.model.MemAlpha) // the flag store

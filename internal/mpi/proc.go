@@ -16,6 +16,7 @@ type Proc struct {
 	clock sim.Time
 
 	commWorld *Comm // cached singleton handle (see CommWorld)
+	cw        Comm  // its embedded storage: no per-rank allocation
 }
 
 // Rank returns the global rank (MPI_COMM_WORLD rank).

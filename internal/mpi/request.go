@@ -8,13 +8,14 @@ import (
 
 // Request is a nonblocking operation handle (MPI_Request).
 type Request struct {
-	p      *Proc
-	isSend bool
-	eager  bool
-	msg    *message // send side (rendezvous only; eager sends complete at post)
-	rr     *recvReq // recv side
-	status Status
-	done   bool
+	p       *Proc
+	isSend  bool
+	eager   bool
+	msg     *message // send side (rendezvous only; eager sends complete at post)
+	rr      *recvReq // recv side
+	status  Status
+	done    bool
+	aborted bool // latched: every later Wait/Test keeps returning ErrAborted
 }
 
 // postSendAtClock posts a send whose virtual posting time is `at` —
@@ -49,7 +50,12 @@ func (c *Comm) postSendAtClock(buf Buf, dst, tag int, at sim.Time, kind string) 
 	if w.tracer.Enabled() {
 		w.tracer.Record(sim.Event{At: at, Rank: c.p.rank, Kind: kind, Bytes: buf.Len()})
 	}
-	if r := w.match.postSend(c.ctx, msg); r != nil {
+	r, err := w.match.postSend(c.ctx, msg)
+	if err != nil {
+		putMessage(msg)
+		return nil, err
+	}
+	if r != nil {
 		w.complete(msg, r)
 	}
 	if eager {
@@ -99,7 +105,12 @@ func (c *Comm) postRecvReqAt(buf Buf, src, tag int, at sim.Time, kind string) (*
 	if kind != "" && w.tracer.Enabled() {
 		w.tracer.Record(sim.Event{At: at, Rank: c.p.rank, Kind: kind, Bytes: buf.Len()})
 	}
-	if msg := w.match.postRecv(c.ctx, c.p.rank, rr); msg != nil {
+	msg, err := w.match.postRecv(c.ctx, c.p.rank, rr)
+	if err != nil {
+		putRecvReq(rr)
+		return nil, err
+	}
+	if msg != nil {
 		w.complete(msg, rr)
 	}
 	return rr, nil
@@ -111,25 +122,30 @@ func (c *Comm) postRecvReq(buf Buf, src, tag int) (*recvReq, error) {
 }
 
 // waitSendMsg blocks until a rendezvous send completes, advances the
-// clock, and recycles the message.
+// clock, and recycles the message. The wait is a plain channel receive
+// — no select against the abort channel — because Abort's poison walk
+// delivers the abortClock sentinel through the same channel (p2p.go),
+// which keeps the hottest park path free of the select machinery.
 func (p *Proc) waitSendMsg(m *message) error {
-	select {
-	case at := <-m.done:
-		p.syncTo(at)
+	at := <-m.done
+	if at == abortClock {
 		putMessage(m)
-		return nil
-	case <-p.world.abortCh:
 		return ErrAborted
 	}
+	p.syncTo(at)
+	putMessage(m)
+	return nil
 }
 
 // waitRecvReq blocks until a receive completes, advances the clock, and
-// recycles the record.
+// recycles the record. A receive whose send was already queued
+// completed synchronously inside postRecv, so the result is often
+// sitting in the buffered channel and the receive doesn't even park;
+// abort is delivered as the abortClock poison, like waitSendMsg.
 func (p *Proc) waitRecvReq(rr *recvReq) (Status, error) {
-	var res recvResult
-	select {
-	case res = <-rr.result:
-	case <-p.world.abortCh:
+	res := <-rr.result
+	if res.at == abortClock {
+		putRecvReq(rr)
 		return Status{}, ErrAborted
 	}
 	putRecvReq(rr)
@@ -165,6 +181,9 @@ func (r *Request) Wait() (Status, error) {
 	if r == nil {
 		return Status{}, errors.New("mpi: Wait on nil request")
 	}
+	if r.aborted {
+		return Status{}, ErrAborted
+	}
 	if r.done {
 		return r.status, nil
 	}
@@ -176,12 +195,17 @@ func (r *Request) Wait() (Status, error) {
 		}
 		msg := r.msg
 		r.msg = nil
-		return Status{}, r.p.waitSendMsg(msg)
+		if err := r.p.waitSendMsg(msg); err != nil {
+			r.aborted = true
+			return Status{}, err
+		}
+		return Status{}, nil
 	}
 	rr := r.rr
 	r.rr = nil
 	st, err := r.p.waitRecvReq(rr)
 	if err != nil {
+		r.aborted = true
 		return Status{}, err
 	}
 	r.status = st
@@ -198,6 +222,9 @@ func (r *Request) Test() (bool, Status, error) {
 	if r == nil {
 		return false, Status{}, errors.New("mpi: Test on nil request")
 	}
+	if r.aborted {
+		return false, Status{}, ErrAborted
+	}
 	if r.done {
 		return true, r.status, nil
 	}
@@ -209,9 +236,16 @@ func (r *Request) Test() (bool, Status, error) {
 		}
 		select {
 		case at := <-r.msg.done:
-			r.p.syncTo(at)
 			putMessage(r.msg)
 			r.msg = nil
+			if at == abortClock {
+				// The poison consumed the record; latch the abort so
+				// later Wait/Test keep reporting it instead of touching
+				// the recycled message.
+				r.aborted = true
+				return false, Status{}, ErrAborted
+			}
+			r.p.syncTo(at)
 			r.done = true
 			return true, Status{}, nil
 		case <-r.p.world.abortCh:
@@ -224,6 +258,10 @@ func (r *Request) Test() (bool, Status, error) {
 	case res := <-r.rr.result:
 		putRecvReq(r.rr)
 		r.rr = nil
+		if res.at == abortClock {
+			r.aborted = true
+			return false, Status{}, ErrAborted
+		}
 		r.p.syncTo(res.at)
 		r.p.trace("recv", res.bytes, "")
 		r.status = Status{Source: res.source, Tag: res.tag, Bytes: res.bytes}

@@ -190,6 +190,10 @@ func (s *Sched) drain() error {
 			select {
 			case at := <-p.msg.done:
 				putMessage(p.msg)
+				if at == abortClock {
+					p.msg = nil
+					return ErrAborted
+				}
 				p.msg, p.done, p.at = nil, true, at
 			case <-w.abortCh:
 				return ErrAborted
@@ -198,6 +202,10 @@ func (s *Sched) drain() error {
 			select {
 			case res := <-p.rr.result:
 				putRecvReq(p.rr)
+				if res.at == abortClock {
+					p.rr = nil
+					return ErrAborted
+				}
 				p.rr, p.done, p.at = nil, true, res.at
 			case <-w.abortCh:
 				return ErrAborted
@@ -220,6 +228,10 @@ func (s *Sched) poll() (bool, error) {
 			select {
 			case at := <-p.msg.done:
 				putMessage(p.msg)
+				if at == abortClock {
+					p.msg = nil
+					return false, ErrAborted
+				}
 				p.msg, p.done, p.at = nil, true, at
 			default:
 				all = false
@@ -228,6 +240,10 @@ func (s *Sched) poll() (bool, error) {
 			select {
 			case res := <-p.rr.result:
 				putRecvReq(p.rr)
+				if res.at == abortClock {
+					p.rr = nil
+					return false, ErrAborted
+				}
 				p.rr, p.done, p.at = nil, true, res.at
 			default:
 				all = false

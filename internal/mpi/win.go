@@ -32,12 +32,8 @@ func WinAllocateShared(c *Comm, mySize int) (*Win, error) {
 	if mySize < 0 {
 		return nil, fmt.Errorf("mpi: negative window size %d", mySize)
 	}
-	node := c.p.world.topo.NodeOf(c.Global(0))
-	for r := 1; r < c.Size(); r++ {
-		if c.p.world.topo.NodeOf(c.Global(r)) != node {
-			return nil, fmt.Errorf("mpi: WinAllocateShared communicator spans nodes %d and %d",
-				node, c.p.world.topo.NodeOf(c.Global(r)))
-		}
+	if err := winCheckSingleNode(c); err != nil {
+		return nil, err
 	}
 
 	vals := c.exchange(mySize)
@@ -61,6 +57,75 @@ func WinAllocateShared(c *Comm, mySize int) (*Win, error) {
 	seg = published[0].(Buf)
 
 	return &Win{comm: c, base: seg, offs: offs, sizes: sizes}, nil
+}
+
+// winLeaderPlan is the shared state of a leader-pattern window: the
+// node segment plus the offset/size tables every member adopts. total
+// is kept for validation — members must have passed the same size, or
+// whichever member built the plan would silently decide the geometry.
+type winLeaderPlan struct {
+	total int
+	base  Buf
+	offs  []int
+	sizes []int
+}
+
+// WinAllocateLeader allocates a shared window in the paper's dominant
+// pattern: comm rank 0 contributes total bytes, every other member
+// zero. The geometry is fully determined by (comm size, total), so
+// unlike the general WinAllocateShared no sizes exchange runs: one
+// member allocates the segment and publishes it through the world's
+// setup slot (SetupOnce), and everyone else adopts it. Semantically
+// identical to every member calling WinAllocateShared with
+// mySize = total on rank 0 and 0 elsewhere.
+func WinAllocateLeader(c *Comm, total int) (*Win, error) {
+	if c == nil {
+		return nil, fmt.Errorf("mpi: WinAllocateLeader on nil communicator")
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("mpi: negative window size %d", total)
+	}
+	if err := winCheckSingleNode(c); err != nil {
+		return nil, err
+	}
+	v, err := SetupOnce(c, func() (any, error) {
+		plan := &winLeaderPlan{
+			total: total,
+			base:  c.p.world.NewBuf(total),
+			offs:  make([]int, c.Size()),
+			sizes: make([]int, c.Size()),
+		}
+		plan.sizes[0] = total
+		for r := 1; r < c.Size(); r++ {
+			plan.offs[r] = total
+		}
+		return plan, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	plan := v.(*winLeaderPlan)
+	// Divergent sizes are an application bug that must fail loudly on
+	// the rank that holds the odd value, not silently adopt whichever
+	// member reached the setup slot first.
+	if plan.total != total {
+		return nil, fmt.Errorf("mpi: WinAllocateLeader sizes diverge across ranks (builder has %d, this rank has %d)",
+			plan.total, total)
+	}
+	return &Win{comm: c, base: plan.base, offs: plan.offs, sizes: plan.sizes}, nil
+}
+
+// winCheckSingleNode verifies every member shares a node (load/store
+// reachability).
+func winCheckSingleNode(c *Comm) error {
+	node := c.p.world.topo.NodeOf(c.Global(0))
+	for r := 1; r < c.Size(); r++ {
+		if c.p.world.topo.NodeOf(c.Global(r)) != node {
+			return fmt.Errorf("mpi: shared window communicator spans nodes %d and %d",
+				node, c.p.world.topo.NodeOf(c.Global(r)))
+		}
+	}
+	return nil
 }
 
 // Mine returns this rank's contributed segment.

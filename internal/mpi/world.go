@@ -9,6 +9,7 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -17,7 +18,8 @@ import (
 )
 
 // World owns one simulated job: the topology, the cost model, the
-// message-matching engine, and the per-rank processes.
+// message-matching engine, the persistent rank pool, and the per-rank
+// processes.
 type World struct {
 	topo   *sim.Topology
 	model  *sim.CostModel
@@ -31,6 +33,20 @@ type World struct {
 
 	identity []int // comm rank == global rank table for COMM_WORLD
 	procs    []*Proc
+
+	// Execution engine: the persistent rank pool, the reusable per-Run
+	// dispatch record, and the Run gate that enforces the
+	// one-Run-at-a-time / no-clock-reads-during-Run contract.
+	pool    *rankPool
+	run     runState
+	running atomic.Bool
+	closed  atomic.Bool
+
+	// setupSlots holds the SetupOnce slots: one once-guarded record per
+	// (communicator context, coordination sequence) collective setup
+	// call, through which derived-communicator plans (SplitLevel, the
+	// composer geometry) are shared exchange-free (see derive.go).
+	setupSlots sync.Map
 
 	abortOnce sync.Once
 	abortCh   chan struct{}
@@ -46,8 +62,18 @@ var ErrAborted = errors.New("mpi: job aborted because another rank failed")
 // automatically when a rank body returns an error or panics; tests use
 // it directly for failure injection. A world stays poisoned after
 // Abort.
+//
+// The hot wait paths (message completion, small-comm clock fusion)
+// park on plain channel receives; Abort wakes those by poisoning their
+// channels directly (matcher.poison, poisonFusers). The remaining
+// waiters — exchange sessions, large-comm fusion trees — still select
+// on abortCh and wake through its close.
 func (w *World) Abort() {
-	w.abortOnce.Do(func() { close(w.abortCh) })
+	w.abortOnce.Do(func() {
+		close(w.abortCh)
+		w.match.poison()
+		w.coord.poisonFusers()
+	})
 }
 
 // Aborted reports whether the job was aborted.
@@ -92,6 +118,7 @@ func NewWorld(model *sim.CostModel, topo *sim.Topology, opts ...Option) (*World,
 		model:   model,
 		match:   newMatcher(),
 		coord:   newCoordinator(),
+		pool:    newRankPool(topo.Size()),
 		abortCh: make(chan struct{}),
 	}
 	for _, o := range opts {
@@ -100,9 +127,11 @@ func NewWorld(model *sim.CostModel, topo *sim.Topology, opts ...Option) (*World,
 	w.match.sizeTo(topo.Size())
 	w.identity = make([]int, topo.Size())
 	w.procs = make([]*Proc, topo.Size())
+	store := make([]Proc, topo.Size()) // one allocation, not one per rank
 	for r := range w.procs {
 		w.identity[r] = r
-		w.procs[r] = &Proc{world: w, rank: r}
+		store[r] = Proc{world: w, rank: r}
+		w.procs[r] = &store[r]
 	}
 	return w, nil
 }
@@ -138,61 +167,116 @@ func (e *RankError) Error() string { return fmt.Sprintf("rank %d: %v", e.Rank, e
 // Unwrap exposes the underlying error.
 func (e *RankError) Unwrap() error { return e.Err }
 
-// Run executes body once per rank, each on its own goroutine, and waits
-// for all of them. Panics inside a rank are recovered and reported as
-// that rank's error. The returned error joins every failing rank's
-// error (errors.Join), nil if all ranks succeeded.
+// ErrClosed is returned by Run on a World whose pool was shut down.
+var ErrClosed = errors.New("mpi: world closed")
+
+// Run executes body once per rank on the persistent rank pool and waits
+// for all of them. Workers are long-lived goroutines parked on per-rank
+// mailboxes: the first Run spawns them, every later Run reuses them, so
+// the steady state dispatches without spawning or allocating. Panics
+// inside a rank are recovered and reported as that rank's error. The
+// returned error joins every failing rank's error (errors.Join), nil if
+// all ranks succeeded.
 //
 // Run may be called repeatedly on the same World; clocks continue from
 // where the previous Run left them (use ResetClocks between independent
-// measurements).
+// measurements). Run on an aborted world fails immediately with
+// ErrAborted (the world stays poisoned), and on a closed world with
+// ErrClosed. Calls must not overlap: a second Run while one is in
+// flight panics.
 func (w *World) Run(body func(p *Proc) error) error {
-	errs := make([]error, w.Size())
-	var wg sync.WaitGroup
-	wg.Add(w.Size())
-	for r := 0; r < w.Size(); r++ {
-		go func(p *Proc) {
-			defer wg.Done()
-			defer func() {
-				if rec := recover(); rec != nil {
-					// Coordinator waits signal job aborts by
-					// panicking with ErrAborted; report those
-					// cleanly rather than as crashes.
-					if e, ok := rec.(error); ok && errors.Is(e, ErrAborted) {
-						errs[p.rank] = &RankError{Rank: p.rank, Err: e}
-						return
-					}
-					errs[p.rank] = &RankError{
-						Rank: p.rank,
-						Err:  fmt.Errorf("panic: %v\n%s", rec, debug.Stack()),
-					}
-					w.Abort()
-				}
-			}()
-			if err := body(p); err != nil {
-				errs[p.rank] = &RankError{Rank: p.rank, Err: err}
-				// A failing rank aborts the job, as mpirun
-				// would, so peers blocked in collectives wake
-				// up with ErrAborted instead of hanging.
-				w.Abort()
-			}
-		}(w.procs[r])
+	if w.closed.Load() {
+		return ErrClosed
 	}
-	wg.Wait()
-	return errors.Join(errs...)
+	if w.Aborted() {
+		return fmt.Errorf("mpi: Run on poisoned world: %w", ErrAborted)
+	}
+	if !w.running.CompareAndSwap(false, true) {
+		panic("mpi: concurrent World.Run calls")
+	}
+	defer w.running.Store(false)
+
+	if !w.pool.started {
+		w.pool.start()
+		setPoolFinalizer(w)
+	}
+	st := &w.run
+	st.body = body
+	if st.errs == nil {
+		st.errs = make([]error, w.Size())
+	} else {
+		clear(st.errs)
+	}
+	st.wg.Add(w.Size())
+	for r := 0; r < w.Size(); r++ {
+		w.pool.dispatch(rankJob{p: w.procs[r], st: st})
+	}
+	st.wg.Wait()
+	st.body = nil
+	return errors.Join(st.errs...)
+}
+
+// recoveredRankError converts a recovered rank panic into the rank's
+// reported error. Coordinator waits signal job aborts by panicking with
+// ErrAborted; those are reported cleanly rather than as crashes. Any
+// other panic aborts the job.
+func recoveredRankError(p *Proc, rec any) error {
+	if e, ok := rec.(error); ok && errors.Is(e, ErrAborted) {
+		return &RankError{Rank: p.rank, Err: e}
+	}
+	p.world.Abort()
+	return &RankError{
+		Rank: p.rank,
+		Err:  fmt.Errorf("panic: %v\n%s", rec, debug.Stack()),
+	}
+}
+
+// Close shuts the rank pool down: parked workers wake up and exit, and
+// later Run calls fail with ErrClosed. Close is idempotent and safe on
+// a world that never ran; it must not be called while a Run is in
+// flight. Worlds the harnesses churn through (one per measured
+// operation) should be closed so their parked goroutines are released
+// deterministically; a world dropped without Close is cleaned up by a
+// GC finalizer instead.
+func (w *World) Close() {
+	if w.running.Load() {
+		panic("mpi: Close during Run")
+	}
+	if w.closed.CompareAndSwap(false, true) {
+		w.pool.shutdown()
+		if !w.Aborted() {
+			// All fusions completed, so the trees' channels are empty
+			// and the trees can serve the next same-shape world.
+			w.coord.releaseTrees()
+		}
+		runtime.SetFinalizer(w, nil)
+	}
+}
+
+// assertNotRunning guards the clock accessors: per-rank clocks are
+// owned by the rank goroutines while a Run is in flight, so reading or
+// writing them concurrently would race. They are meaningful only
+// between Runs.
+func (w *World) assertNotRunning(op string) {
+	if w.running.Load() {
+		panic("mpi: " + op + " during Run — clocks are owned by the rank goroutines while a Run is in flight")
+	}
 }
 
 // ResetClocks zeroes every rank's virtual clock (between benchmark
-// repetitions).
+// repetitions). It must not be called while a Run is in flight.
 func (w *World) ResetClocks() {
+	w.assertNotRunning("ResetClocks")
 	for _, p := range w.procs {
 		p.clock = 0
 	}
 }
 
 // MaxClock returns the latest clock across ranks — the virtual makespan
-// of everything run so far.
+// of everything run so far. It must not be called while a Run is in
+// flight.
 func (w *World) MaxClock() sim.Time {
+	w.assertNotRunning("MaxClock")
 	var max sim.Time
 	for _, p := range w.procs {
 		if p.clock > max {

@@ -1,0 +1,75 @@
+package sim
+
+import "sync"
+
+// ShapeCache is the bounded verify-on-hit cache shared by the geometry
+// layers (topology interning here, split shapes in internal/mpi,
+// composer geometry in internal/coll). Entries are bucketed by a
+// 64-bit content hash and confirmed by the caller's match function, so
+// a hash collision can select a bucket but never hand out a wrong
+// value. The cache is bounded: filling past max drops the whole map —
+// shape variety in practice is a sweep's handful of cluster layouts,
+// so the crude policy never fires on real workloads while still
+// keeping pathological churn from growing without bound.
+type ShapeCache[T any] struct {
+	mu      sync.Mutex
+	entries map[uint64][]T
+	count   int
+	max     int
+}
+
+// NewShapeCache creates a cache holding at most max entries.
+func NewShapeCache[T any](max int) *ShapeCache[T] {
+	return &ShapeCache[T]{entries: map[uint64][]T{}, max: max}
+}
+
+// Lookup returns the first bucket entry accepted by match.
+func (c *ShapeCache[T]) Lookup(h uint64, match func(T) bool) (T, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, v := range c.entries[h] {
+		if match(v) {
+			return v, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// GetOrBuild returns the matching entry, building and inserting it on
+// miss. The lock is held across build so concurrent misses on the same
+// key produce one canonical entry.
+func (c *ShapeCache[T]) GetOrBuild(h uint64, match func(T) bool, build func() (T, error)) (T, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, v := range c.entries[h] {
+		if match(v) {
+			return v, nil
+		}
+	}
+	v, err := build()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	if c.count >= c.max {
+		c.entries = map[uint64][]T{}
+		c.count = 0
+	}
+	c.entries[h] = append(c.entries[h], v)
+	c.count++
+	return v, nil
+}
+
+// HashSeed is the FNV-1a offset basis the geometry fingerprints start
+// from; HashInts folds a vector into a running hash. One shared fold
+// keeps every cache's hashing consistent by construction.
+const HashSeed = uint64(1469598103934665603)
+
+// HashInts folds vals into h with FNV-1a.
+func HashInts(h uint64, vals []int) uint64 {
+	for _, v := range vals {
+		h = (h ^ uint64(v)) * 1099511628211
+	}
+	return h
+}

@@ -20,6 +20,7 @@ type Topology struct {
 	levels  []level // innermost first
 	nodeIdx int     // index of the node level within levels
 	total   int
+	fp      uint64 // structural fingerprint, computed at build time
 }
 
 // level is one materialized nesting level.
@@ -119,12 +120,24 @@ func NewHierTopology(specs []LevelSpec) (*Topology, error) {
 		return nil, fmt.Errorf("sim: topology needs a level named %q", NodeLevelName)
 	}
 
+	// Resolve the effective hop classes, then consult the intern cache
+	// before materializing any per-rank tables: sweeps rebuild the same
+	// handful of shapes for every measured world, and a hit skips the
+	// whole build.
+	classes := make([]HopClass, len(specs))
+	for i, s := range specs {
+		classes[i] = s.Class
+		if classes[i] == HopSelf {
+			classes[i] = autoClass(s.Name, i < nodeIdx)
+		}
+	}
+	if t := lookupInternedTopology(specs, classes); t != nil {
+		return t, nil
+	}
+
 	t := &Topology{nodeIdx: nodeIdx}
 	for i, s := range specs {
-		class := s.Class
-		if class == HopSelf {
-			class = autoClass(s.Name, i < nodeIdx)
-		}
+		class := classes[i]
 		l, total, err := buildLevel(s.Name, class, s.Sizes)
 		if err != nil {
 			return nil, err
@@ -153,7 +166,115 @@ func NewHierTopology(specs []LevelSpec) (*Topology, error) {
 				outer.name, len(outer.sizes), inner.name, len(inner.sizes))
 		}
 	}
-	return t, nil
+	t.fp = t.fingerprint()
+	return internTopology(t), nil
+}
+
+// topoIntern holds the canonical instance of each topology shape:
+// rebuilding the same shape (as sweeps do for every measured world)
+// hands back the shared immutable object instead of fresh per-rank
+// tables, and downstream geometry caches hit their pointer-equality
+// fast path.
+var topoIntern = NewShapeCache[*Topology](256)
+
+func internTopology(t *Topology) *Topology {
+	v, _ := topoIntern.GetOrBuild(t.fp, t.EqualStructure, func() (*Topology, error) { return t, nil })
+	return v
+}
+
+// lookupInternedTopology checks the intern cache against raw specs
+// (with resolved classes) so a hit avoids building the per-rank tables
+// at all. Only valid topologies are interned, and a spec that matches
+// one level-for-level is necessarily valid itself.
+func lookupInternedTopology(specs []LevelSpec, classes []HopClass) *Topology {
+	h := HashSeed
+	for i, s := range specs {
+		h = hashLevelInto(h, s.Name, classes[i], s.Sizes)
+	}
+	t, ok := topoIntern.Lookup(h, func(o *Topology) bool {
+		if len(o.levels) != len(specs) {
+			return false
+		}
+		for i := range specs {
+			l := &o.levels[i]
+			if l.name != specs[i].Name || l.class != classes[i] || len(l.sizes) != len(specs[i].Sizes) {
+				return false
+			}
+			for g, sz := range specs[i].Sizes {
+				if l.sizes[g] != sz {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if !ok {
+		return nil
+	}
+	return t
+}
+
+// hashLevelInto folds one level's identity (name, class, group sizes)
+// into a running hash. Both the built-topology fingerprint and the
+// spec-side intern lookup go through this single mixer — they must stay
+// byte-identical, or interning silently stops hitting and every world
+// builds duplicate canonical topologies.
+func hashLevelInto(h uint64, name string, class HopClass, sizes []int) uint64 {
+	mix := func(v uint64) uint64 {
+		return (h ^ v) * 1099511628211
+	}
+	for _, c := range []byte(name) {
+		h = mix(uint64(c))
+	}
+	h = mix(uint64(class) + 1)
+	for _, sz := range sizes {
+		h = mix(uint64(sz))
+	}
+	return mix(0xfe) // level separator
+}
+
+// fingerprint hashes the structure (level names, classes, group sizes)
+// with FNV-1a. Topologies are immutable after construction, so the
+// value is computed once. Two topologies with equal structure describe
+// identical rank layouts — the per-rank tables are derived from the
+// sizes deterministically — which is what lets worlds of the same shape
+// share cached communicator geometry (see internal/mpi, internal/coll).
+func (t *Topology) fingerprint() uint64 {
+	h := HashSeed
+	for i := range t.levels {
+		l := &t.levels[i]
+		h = hashLevelInto(h, l.name, l.class, l.sizes)
+	}
+	return h
+}
+
+// Fingerprint returns the topology's structural hash. Use
+// EqualStructure to confirm a match exactly: the fingerprint only
+// selects cache buckets.
+func (t *Topology) Fingerprint() uint64 { return t.fp }
+
+// EqualStructure reports whether two topologies declare the same level
+// stack (names, hop classes and per-group rank counts, in order) and
+// therefore lay ranks out identically.
+func (t *Topology) EqualStructure(o *Topology) bool {
+	if t == o {
+		return true
+	}
+	if o == nil || len(t.levels) != len(o.levels) || t.total != o.total || t.nodeIdx != o.nodeIdx {
+		return false
+	}
+	for i := range t.levels {
+		a, b := &t.levels[i], &o.levels[i]
+		if a.name != b.name || a.class != b.class || len(a.sizes) != len(b.sizes) {
+			return false
+		}
+		for g := range a.sizes {
+			if a.sizes[g] != b.sizes[g] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // NewTopology builds a single-level (node-only) topology from the number
