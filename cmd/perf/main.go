@@ -18,11 +18,15 @@
 //
 // -sweep selects extra report dimensions (comma-separated, or "all"):
 //
-//	coll   the collective selection engine's algorithm choices and
-//	       crossover points per message size
-//	topo   the multi-level topology dimension (levels x ppn)
-//	scale  the scale-out dimension: size-only allgather/allreduce up to
-//	       -scalemax ranks, recording ns/op, peak goroutines, peak RSS
+//	coll     the collective selection engine's algorithm choices and
+//	         crossover points per message size
+//	topo     the multi-level topology dimension (levels x ppn)
+//	scale    the scale-out dimension: size-only allgather/allreduce up
+//	         to -scalemax ranks, recording ns/op, peak goroutines,
+//	         peak RSS
+//	stencil  the process-topology dimension: 4-dim grid halo exchanges
+//	         (CartCreate + NeighborAlltoall) per halo width up to
+//	         -scalemax ranks
 //
 // -cpuprofile / -memprofile write pprof profiles covering the whole
 // run (cases plus sweeps), for digging into control-plane hot spots.
@@ -49,7 +53,7 @@ func main() {
 	check := flag.Bool("check", false, "fail (exit 1) on regression vs -baseline")
 	maxSlow := flag.Float64("maxslow", 3.0, "-check: max allowed ns/op slowdown factor")
 	allocSlack := flag.Float64("allocslack", 1.10, "-check: allocs/op ceiling factor over baseline")
-	sweep := flag.String("sweep", "", "extra sweep dimensions: coll,topo,scale or all")
+	sweep := flag.String("sweep", "", "extra sweep dimensions: coll,topo,scale,stencil or all")
 	scaleMax := flag.Int("scalemax", 65536, "scale sweep: largest rank count to run")
 	tuningSpec := flag.String("tuning", "policy=cost",
 		"coll tuning spec for the sweep (see REPRO_COLL_TUNING)")
@@ -129,6 +133,12 @@ func main() {
 			}
 			printScaleSweep(rep.ScaleSweep)
 		}
+		if dims["stencil"] {
+			if rep.StencilSweep, err = bench.RunStencilSweep(mk(), *scaleMax); err != nil {
+				fatal(err)
+			}
+			printStencilSweep(rep.StencilSweep)
+		}
 	}
 
 	if *out != "" {
@@ -172,14 +182,14 @@ func parseSweep(spec string) (map[string]bool, error) {
 		return dims, nil
 	}
 	if spec == "all" {
-		return map[string]bool{"coll": true, "topo": true, "scale": true}, nil
+		return map[string]bool{"coll": true, "topo": true, "scale": true, "stencil": true}, nil
 	}
 	for _, d := range strings.Split(spec, ",") {
 		switch d = strings.TrimSpace(d); d {
-		case "coll", "topo", "scale":
+		case "coll", "topo", "scale", "stencil":
 			dims[d] = true
 		default:
-			return nil, fmt.Errorf("unknown sweep dimension %q (want coll, topo, scale or all)", d)
+			return nil, fmt.Errorf("unknown sweep dimension %q (want coll, topo, scale, stencil or all)", d)
 		}
 	}
 	return dims, nil
@@ -237,6 +247,14 @@ func printScaleSweep(s *bench.ScaleSweepReport) {
 		fmt.Printf("  %-10s %5dx%-3d %7d ranks %10.1f ms/op  peakG %7d  peakRSS %5.0f MiB  virtual %10.2f us\n",
 			p.Coll, p.Nodes, p.PPN, p.Ranks, p.NsPerOp/1e6, p.PeakGoroutines,
 			float64(p.PeakRSSBytes)/(1<<20), p.VirtualUs)
+	}
+}
+
+func printStencilSweep(s *bench.StencilSweepReport) {
+	fmt.Printf("\nstencil-sweep (%s, up to %d ranks):\n", s.Model, s.MaxRanks)
+	for _, p := range s.Points {
+		fmt.Printf("  %-12s %7d ranks  halo %4dB %10.1f ms/op  setup %7.0f ms  peakG %7d  virtual %10.2f us\n",
+			p.Dims, p.Ranks, p.HaloBytes, p.NsPerOp/1e6, p.SetupNs/1e6, p.PeakGoroutines, p.VirtualUs)
 	}
 }
 

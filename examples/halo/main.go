@@ -1,19 +1,24 @@
-// Halo exchange: the hybrid MPI+MPI motif that motivated the paper.
+// Halo exchange: the hybrid MPI+MPI motif that motivated the paper,
+// now written on the process-topology API.
 //
 // Hoefler et al.'s MPI+MPI paper demonstrated point-to-point halo
 // exchanges where on-node neighbours share memory directly; the ICPP'19
 // paper generalizes the idea to collectives. This example shows both
 // sides on a 1-D stencil ring:
 //
-//   - pure MPI: every rank keeps private halo copies and exchanges both
-//     neighbours' borders with Sendrecv;
+//   - pure MPI: a periodic Cartesian communicator (mpi.CartCreate) and
+//     one NeighborAlltoall per step exchange both borders — no
+//     hand-wired Isend/Irecv, and the selection engine picks the halo
+//     algorithm like for any collective;
 //   - hybrid MPI+MPI: the whole node's sub-domain lives in one shared
 //     window, so on-node borders need no copies at all — only the two
 //     node-edge ranks talk to other nodes, synchronized by a node
 //     barrier per step.
 //
 // The example runs both flavors over several steps, checks they compute
-// identical stencil results, and prints the virtual-time gap.
+// identical stencil results, and prints the virtual-time gap. A third
+// flavor overlaps a per-step residual norm (coll.Iallreduce) with the
+// stencil update.
 //
 //	go run ./examples/halo
 package main
@@ -75,6 +80,27 @@ func main() {
 		100*(1-float64(overlapNorm.time)/float64(blockNorm.time)))
 }
 
+// haloRing builds the example's process topology: every rank on a
+// periodic 1-D grid. reorder is off — the domain decomposition *is*
+// the rank order here, and the determinism tests pin the unreordered
+// timeline.
+func haloRing(p *mpi.Proc) (*mpi.Comm, error) {
+	return p.CommWorld().CartCreate([]int{p.Size()}, []bool{true}, false)
+}
+
+// exchangeBorders swaps both border cells with the grid neighbors in
+// one NeighborAlltoall: send slot 0 (negative direction) carries the
+// left border, slot 1 the right; the received negative slot is the
+// left ghost, the positive slot the right ghost.
+func exchangeBorders(ring *mpi.Comm, field []float64, send, recv mpi.Buf) (gl, gr float64, err error) {
+	send.PutFloat64(0, field[0])
+	send.PutFloat64(1, field[cells-1])
+	if err := coll.NeighborAlltoall(ring, send, recv, 8); err != nil {
+		return 0, 0, err
+	}
+	return recv.Float64At(0), recv.Float64At(1), nil
+}
+
 // runNorm is the pure-MPI stencil with a per-step global residual norm.
 // With overlap, the norm reduction is posted as a nonblocking schedule
 // before the (independent) stencil update and completed after it.
@@ -86,14 +112,17 @@ func runNorm(topo *sim.Topology, overlap bool) (outcome, error) {
 	norms := make([]float64, topo.Size())
 	err = w.Run(func(p *mpi.Proc) error {
 		c := p.CommWorld()
-		n := p.Size()
-		left := (p.Rank() - 1 + n) % n
-		right := (p.Rank() + 1) % n
+		ring, err := haloRing(p)
+		if err != nil {
+			return err
+		}
 
 		field := initField(p.Rank())
 		var norm float64
 		local := mpi.Bytes(make([]byte, 8))
 		global := mpi.Bytes(make([]byte, 8))
+		borders := mpi.Bytes(make([]byte, 16))
+		ghosts := mpi.Bytes(make([]byte, 16))
 		for s := 0; s < steps; s++ {
 			local.PutFloat64(0, sum(field))
 			var sched *mpi.Sched
@@ -113,17 +142,11 @@ func runNorm(topo *sim.Topology, overlap bool) (outcome, error) {
 			} else if err := coll.Allreduce(c, local, global, 1, mpi.Float64, mpi.OpSum); err != nil {
 				return err
 			}
-			lb := mpi.FromFloat64s(field[:1])
-			rb := mpi.FromFloat64s(field[cells-1:])
-			gl := mpi.Bytes(make([]byte, 8))
-			gr := mpi.Bytes(make([]byte, 8))
-			if _, err := c.Sendrecv(lb, left, 1, gr, right, 1); err != nil {
+			gl, gr, err := exchangeBorders(ring, field, borders, ghosts)
+			if err != nil {
 				return err
 			}
-			if _, err := c.Sendrecv(rb, right, 2, gl, left, 2); err != nil {
-				return err
-			}
-			field = relax(field, gl.Float64At(0), gr.Float64At(0))
+			field = relax(field, gl, gr)
 			p.Compute(3 * cells)
 			if sched != nil {
 				if err := sched.Wait(); err != nil {
@@ -146,7 +169,8 @@ type outcome struct {
 	sum  float64
 }
 
-// runPure: classic ring stencil with private halo cells.
+// runPure: classic ring stencil with private halo cells, borders
+// exchanged by the neighborhood collective.
 func runPure(topo *sim.Topology) (outcome, error) {
 	w, err := mpi.NewWorld(sim.Laptop(), topo, mpi.WithRealData())
 	if err != nil {
@@ -154,27 +178,19 @@ func runPure(topo *sim.Topology) (outcome, error) {
 	}
 	sums := make([]float64, topo.Size())
 	err = w.Run(func(p *mpi.Proc) error {
-		c := p.CommWorld()
-		n := p.Size()
-		left := (p.Rank() - 1 + n) % n
-		right := (p.Rank() + 1) % n
-
+		ring, err := haloRing(p)
+		if err != nil {
+			return err
+		}
 		field := initField(p.Rank())
-		halo := make([]float64, 2) // [left ghost, right ghost]
+		borders := mpi.Bytes(make([]byte, 16))
+		ghosts := mpi.Bytes(make([]byte, 16))
 		for s := 0; s < steps; s++ {
-			lb := mpi.FromFloat64s(field[:1])
-			rb := mpi.FromFloat64s(field[cells-1:])
-			gl := mpi.Bytes(make([]byte, 8))
-			gr := mpi.Bytes(make([]byte, 8))
-			// Exchange borders with both neighbours.
-			if _, err := c.Sendrecv(lb, left, 1, gr, right, 1); err != nil {
+			gl, gr, err := exchangeBorders(ring, field, borders, ghosts)
+			if err != nil {
 				return err
 			}
-			if _, err := c.Sendrecv(rb, right, 2, gl, left, 2); err != nil {
-				return err
-			}
-			halo[0], halo[1] = gl.Float64At(0), gr.Float64At(0)
-			field = relax(field, halo[0], halo[1])
+			field = relax(field, gl, gr)
 			p.Compute(3 * cells) // the stencil update
 		}
 		sums[p.Rank()] = sum(field)

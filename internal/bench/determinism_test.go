@@ -13,6 +13,7 @@ var goldenVirtualPs = map[string]int64{
 	"p2p/pingpong_2x1_8B":       1_900_960,
 	"fig7/allgather_1x24_e512":  68_697_760,
 	"fig9/allgather_64x24_e512": 5_222_157_840,
+	"stencil/halo4d_256_e64":    31_383_040,
 	"fig11/summa_c64_b64":       1_465_384_160,
 	"fig12/bpmf_c120":           222_228_848_646,
 }

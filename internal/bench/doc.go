@@ -1,0 +1,24 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (Figs. 7-12) on the simulated
+// cluster, printing the same series the paper plots. See DESIGN.md's
+// per-experiment index and EXPERIMENTS.md for paper-vs-measured notes.
+//
+// Beyond the figures, the package carries the repository's performance
+// accounting:
+//
+//   - The wall-clock harness (WallCases, RunWallCases) measures how
+//     fast the simulator itself executes figure-scale workloads — host
+//     ns/op, allocs/op, peak goroutines — and writes the BENCH_*.json
+//     trajectory at the repo root; CheckAgainst is the CI
+//     perf-regression gate over a committed baseline.
+//   - The sweep dimensions extend a report: RunCollSweep (selection
+//     crossovers per message size), RunTopoSweep (multi-level
+//     hierarchies), RunScaleSweep (size-only collectives up to 65,536
+//     ranks) and RunStencilSweep (4-dim grid halo exchanges per halo
+//     width, the process-topology dimension).
+//   - The golden determinism tests pin virtual makespans to the
+//     picosecond, so optimizations to the simulator can never move
+//     modeled time.
+//
+// cmd/perf is the command-line front end for all of it.
+package bench

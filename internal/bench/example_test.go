@@ -1,0 +1,29 @@
+package bench_test
+
+import (
+	"os"
+
+	"repro/internal/bench"
+)
+
+// Table is the report primitive every figure harness prints through.
+func ExampleTable_Fprint() {
+	tbl := bench.Table{
+		Name:   "Fig. X",
+		Note:   "virtual microseconds, deterministic",
+		Header: []string{"elems", "pure", "hybrid"},
+	}
+	tbl.AddRow("512", "120.0", "24.5")
+	tbl.AddRow("1024", "240.0", "49.0")
+	if err := tbl.Fprint(os.Stdout); err != nil {
+		panic(err)
+	}
+	// Output:
+	//
+	// == Fig. X ==
+	// virtual microseconds, deterministic
+	// elems   pure  hybrid
+	// --------------------
+	//   512  120.0    24.5
+	//  1024  240.0    49.0
+}

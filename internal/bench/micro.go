@@ -1,7 +1,3 @@
-// Package bench is the experiment harness: it regenerates every table
-// and figure of the paper's evaluation (Figs. 7-12) on the simulated
-// cluster, printing the same series the paper plots. See DESIGN.md's
-// per-experiment index and EXPERIMENTS.md for paper-vs-measured notes.
 package bench
 
 import (

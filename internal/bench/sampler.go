@@ -15,6 +15,7 @@ type goroutineSampler struct {
 	max  atomic.Int64
 	quit chan struct{}
 	wg   sync.WaitGroup
+	once sync.Once
 }
 
 func newGoroutineSampler() *goroutineSampler {
@@ -38,9 +39,13 @@ func newGoroutineSampler() *goroutineSampler {
 	return s
 }
 
+// stop retires the sampling goroutine. Idempotent, so error paths can
+// defer it while success paths stop eagerly before reading peak().
 func (s *goroutineSampler) stop() {
-	close(s.quit)
-	s.wg.Wait()
+	s.once.Do(func() {
+		close(s.quit)
+		s.wg.Wait()
+	})
 }
 
 func (s *goroutineSampler) peak() int { return int(s.max.Load()) }

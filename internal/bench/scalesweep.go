@@ -80,6 +80,7 @@ func runScalePoint(model *sim.CostModel, collName string, nodes, ppn int) (Scale
 	}
 
 	sampler := newGoroutineSampler()
+	defer sampler.stop() // error paths; the success path stops eagerly
 	start := time.Now()
 	topo, err := sim.Uniform(nodes, ppn)
 	if err != nil {

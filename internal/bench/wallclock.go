@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/bpmf"
+	"repro/internal/coll"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/summa"
@@ -61,6 +62,10 @@ type WallReport struct {
 	// goroutines and peak RSS of size-only collectives up to 65,536
 	// ranks (cmd/perf -sweep scale).
 	ScaleSweep *ScaleSweepReport `json:"scale_sweep,omitempty"`
+	// StencilSweep records the process-topology dimension: 4-dim
+	// grid halo exchanges per halo width up to 65,536 ranks
+	// (cmd/perf -sweep stencil).
+	StencilSweep *StencilSweepReport `json:"stencil_sweep,omitempty"`
 }
 
 // WallCases returns the standard wall-clock workload set: the paper's
@@ -106,6 +111,44 @@ func WallCases() []WallCase {
 					return 0, err
 				}
 				return hy + pure, nil
+			},
+		},
+		{
+			Name: "stencil/halo4d_256_e64",
+			Run: func() (sim.Time, error) {
+				// A 4-dim periodic 4^4 grid (256 ranks, 16 nodes),
+				// reordered onto node bricks, exchanging 64-double
+				// halos — the figure-scale anchor of the stencil path.
+				topo, err := sim.Uniform(16, 16)
+				if err != nil {
+					return 0, err
+				}
+				w, err := mpi.NewWorld(cray, topo)
+				if err != nil {
+					return 0, err
+				}
+				defer w.Close()
+				dims := []int{4, 4, 4, 4}
+				periods := []bool{true, true, true, true}
+				err = w.Run(func(p *mpi.Proc) error {
+					cart, err := p.CommWorld().CartCreate(dims, periods, true)
+					if err != nil {
+						return err
+					}
+					in, _, _ := cart.Neighborhood()
+					send := mpi.Sized(512 * len(in))
+					recv := mpi.Sized(512 * len(in))
+					for i := 0; i < 2; i++ {
+						if err := coll.NeighborAlltoall(cart, send, recv, 512); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return 0, err
+				}
+				return w.MaxClock(), nil
 			},
 		},
 		{
@@ -283,6 +326,42 @@ func (rep *WallReport) CheckAgainst(baseline *WallReport, maxSlowdown, allocSlac
 						"topo %s: virtual time moved (hier %.2f -> %.2f us, hybrid %.2f -> %.2f us)",
 						key, b.HierUs, p.HierUs, b.HybridUs, p.HybridUs))
 				}
+			}
+		}
+	}
+	// The stencil dimension: virtual times are deterministic, so every
+	// point measured by both builds must match exactly. Unlike the topo
+	// sweep, the ladder is rank-count-capped in CI (-scalemax), so only
+	// the intersection is compared — but a missing sweep, or an empty
+	// intersection, is a gate failure (a silently skipped dimension
+	// would otherwise read as green).
+	if baseline.StencilSweep != nil {
+		if rep.StencilSweep == nil || len(rep.StencilSweep.Points) == 0 {
+			violations = append(violations, "stencil sweep missing (baseline has one; run with -sweep stencil)")
+		} else {
+			stencilKey := func(p StencilPoint) string {
+				return fmt.Sprintf("%s/%dB", p.Dims, p.HaloBytes)
+			}
+			current := map[string]StencilPoint{}
+			for _, p := range rep.StencilSweep.Points {
+				current[stencilKey(p)] = p
+			}
+			common := 0
+			for _, b := range baseline.StencilSweep.Points {
+				p, ok := current[stencilKey(b)]
+				if !ok {
+					continue
+				}
+				common++
+				if p.VirtualUs != b.VirtualUs {
+					violations = append(violations, fmt.Sprintf(
+						"stencil %s: virtual time moved (%.2f -> %.2f us)",
+						stencilKey(b), b.VirtualUs, p.VirtualUs))
+				}
+			}
+			if common == 0 {
+				violations = append(violations,
+					"stencil sweep shares no points with the baseline (ladder shape drifted)")
 			}
 		}
 	}

@@ -1,9 +1,3 @@
-// Package coll implements the classic MPI collective algorithms on top
-// of the internal/mpi runtime: the building blocks real MPI libraries
-// assemble (Thakur, Rabenseifner, Gropp [28]), plus the SMP-aware
-// hierarchical variants the paper uses as its pure-MPI baseline, with
-// MPICH/OpenMPI-style runtime selection driven by the machine profile's
-// tuning table.
 package coll
 
 import (

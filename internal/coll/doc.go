@@ -1,0 +1,48 @@
+// Package coll implements the classic MPI collective algorithms on top
+// of the internal/mpi runtime: the building blocks real MPI libraries
+// assemble (Thakur, Rabenseifner, Gropp [28]), plus the SMP-aware
+// hierarchical variants the paper uses as its pure-MPI baseline.
+//
+// # Selection engine
+//
+// Every entry point (Allgather, Allgatherv, Allreduce, Reduce, Bcast,
+// Barrier, Alltoall, Gather, Scan, and the Neighbor* family) resolves
+// its algorithm through a registry: one entry per implemented
+// algorithm, carrying an applicability predicate and an
+// alpha-beta-gamma cost estimate at the call's communicator size,
+// message size and hop class. Two policies select over the entries —
+// PolicyTable replicates the machine profile's MPICH/OpenMPI-style
+// cutoff tables (the default, bit-identical in virtual time to the
+// historical hard-wired choices), PolicyCost prices every applicable
+// candidate and picks the cheapest. A Tuning value (policy, forced
+// algorithms, the hybrid window level) threads through mpi.Comm
+// handles and is inherited by derived communicators; the
+// REPRO_COLL_TUNING environment variable configures the process
+// default. TUNING.md at the repository root documents the grammar.
+//
+// # Hierarchical composition
+//
+// Composer is the recursive geometry engine behind the SMP-aware
+// baselines: it builds a leader tree over any machine-topology level
+// stack, discovers the whole shape with one rank-0 plan share, and
+// composes per-tier algorithms through the registry. Hier is the thin
+// node-level instantiation; MultiLeaderHier and hybrid.Ctx reuse the
+// same geometry.
+//
+// # Nonblocking collectives
+//
+// Iallgather, Iallreduce, Ibcast, Ibarrier and the Ineighbor* variants
+// compile the underlying algorithm into an mpi.Sched — rounds of
+// sends/receives executed by an asynchronous progress engine on its
+// own virtual cursor, so callers overlap local compute between Start
+// and Wait with deterministic timing.
+//
+// # Neighborhood collectives
+//
+// NeighborAllgather, NeighborAlltoall and NeighborAlltoallv exchange
+// blocks along the edges of a communicator's process topology
+// (mpi.CartCreate grids or mpi.DistGraphCreate graphs): the sparse
+// halo-exchange pattern of stencil codes, routed through the same
+// registry (a paired per-dimension exchange on grids, a posted-all
+// path for arbitrary graphs).
+package coll

@@ -1,0 +1,442 @@
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Neighborhood collectives (MPI-3 MPI_Neighbor_*): sparse exchanges
+// over a communicator's process topology (mpi.CartCreate /
+// mpi.DistGraphCreate). Each rank sends one block per out-neighbor and
+// receives one block per in-neighbor, slots ordered exactly like the
+// neighborhood edge lists; ProcNull slots keep their buffer positions
+// but move no data. Two algorithms are registered per family:
+//
+//   - pairwise: per grid dimension, one exchange in the negative then
+//     the positive direction of travel — the hand-rolled halo pattern
+//     stencil codes use, with the same deterministic virtual timeline.
+//     Cartesian topologies only (it needs the grid's paired direction
+//     structure).
+//   - linear: post every receive, then every send, then complete all —
+//     the NBX-style path that serves arbitrary graphs, including
+//     self-edges and multi-edges.
+//
+// The selection engine picks between them like for every collective:
+// the table policy pins pairwise on grids and linear on graphs, the
+// cost policy prices both at the call's degree and block size.
+
+// Neighborhood tag bases. Each family gets a stride of 256 relative
+// tags — ample for the direction-of-travel tags 2*dim+dir, which
+// mpi.MaxCartDims caps at 2*32-1 — spaced well clear of the
+// single-tag collective block at 1<<25.
+const (
+	tagNeighborAllgather = 1<<25 + 1<<10 + 256*iota
+	tagNeighborAlltoall
+	tagNeighborAlltoallv
+)
+
+// neighborhoodOf fetches the communicator's neighborhood or reports a
+// usable error for plain communicators.
+func neighborhoodOf(c *mpi.Comm, what string) (in, out []mpi.NeighborEdge, err error) {
+	if c == nil {
+		return nil, nil, fmt.Errorf("coll: %s on nil communicator", what)
+	}
+	in, out, ok := c.Neighborhood()
+	if !ok {
+		return nil, nil, fmt.Errorf("coll: %s needs a communicator with a process topology (CartCreate / DistGraphCreate)", what)
+	}
+	return in, out, nil
+}
+
+// nonNull counts the edges that move data.
+func nonNull(edges []mpi.NeighborEdge) int {
+	n := 0
+	for _, e := range edges {
+		if e.Peer != mpi.ProcNull {
+			n++
+		}
+	}
+	return n
+}
+
+// envForNeighbor derives the selection environment of a neighborhood
+// call: Bytes is the per-neighbor block, Degree the larger non-null
+// neighbor count, Cart whether the pairwise grid exchange applies.
+func envForNeighbor(c *mpi.Comm, in, out []mpi.NeighborEdge, bytes int) Env {
+	e := envFor(c, bytes, 0)
+	e.Degree = max(nonNull(in), nonNull(out))
+	e.Cart = c.IsCart()
+	return e
+}
+
+// neighborPairwiseCost prices the per-dimension paired exchange:
+// Degree serialized steps, each one latency plus one block.
+func neighborPairwiseCost(e Env) sim.Time {
+	return timesT(e.Degree, alphaT(e)+betaT(e, e.Bytes))
+}
+
+// neighborLinearCost prices the posted-all exchange: the posts overlap
+// on the wire (one latency each way) but serialize through the rank's
+// injection port — Degree blocks of bandwidth plus Degree posting
+// overheads.
+func neighborLinearCost(e Env) sim.Time {
+	return timesT(2, alphaT(e)) + betaT(e, e.Degree*e.Bytes) +
+		timesT(e.Degree, e.Model.SendOverhead)
+}
+
+// nbrBufFn addresses one neighborhood slot's block.
+type nbrBufFn = func(slot int) mpi.Buf
+
+// runNeighborPairwise executes the paired per-dimension exchange on a
+// Cartesian communicator: for each dimension, one step in the negative
+// direction of travel (send to the negative neighbor, receive from the
+// positive one — their block travels negative too), then one in the
+// positive. Each step is a plain Sendrecv, degenerating to Send/Recv
+// at non-periodic boundaries (ProcNull on one side) and to a
+// self-exchange on 1-wide periodic dims.
+func runNeighborPairwise(c *mpi.Comm, tagBase int, sendAt, recvAt nbrBufFn) error {
+	in, out, _ := c.Neighborhood()
+	for d := 0; d < len(out)/2; d++ {
+		// Travel negative: out slot 2d (to the negative side), in slot
+		// 2d+1 (the positive side's block arriving). Tags agree by
+		// construction (both are 2d).
+		if err := nbrStep(c, tagBase, out[2*d], sendAt(2*d), in[2*d+1], recvAt(2*d+1)); err != nil {
+			return fmt.Errorf("coll: neighbor exchange dim %d negative: %w", d, err)
+		}
+		// Travel positive: out slot 2d+1, in slot 2d (tags 2d+1).
+		if err := nbrStep(c, tagBase, out[2*d+1], sendAt(2*d+1), in[2*d], recvAt(2*d)); err != nil {
+			return fmt.Errorf("coll: neighbor exchange dim %d positive: %w", d, err)
+		}
+	}
+	return nil
+}
+
+// nbrStep is one direction of one dimension: a Sendrecv when both
+// sides exist, a lone Send/Recv at a boundary.
+func nbrStep(c *mpi.Comm, tagBase int, oe mpi.NeighborEdge, sbuf mpi.Buf, ie mpi.NeighborEdge, rbuf mpi.Buf) error {
+	switch {
+	case oe.Peer != mpi.ProcNull && ie.Peer != mpi.ProcNull:
+		_, err := c.Sendrecv(sbuf, oe.Peer, tagBase+oe.Tag, rbuf, ie.Peer, tagBase+ie.Tag)
+		return err
+	case oe.Peer != mpi.ProcNull:
+		return c.Send(sbuf, oe.Peer, tagBase+oe.Tag)
+	case ie.Peer != mpi.ProcNull:
+		_, err := c.Recv(rbuf, ie.Peer, tagBase+ie.Tag)
+		return err
+	default:
+		return nil
+	}
+}
+
+// runNeighborLinear executes the posted-all exchange: every receive is
+// posted (in slot order), then every send, then all complete. Works on
+// any neighborhood, including self-edges (the receive is already
+// posted when the matching send arrives) and multi-edges (FIFO
+// matching pairs them in slot order on both sides).
+func runNeighborLinear(c *mpi.Comm, tagBase int, sendAt, recvAt nbrBufFn) error {
+	in, out, _ := c.Neighborhood()
+	reqs := make([]*mpi.Request, 0, len(in)+len(out))
+	for j, e := range in {
+		if e.Peer == mpi.ProcNull {
+			continue
+		}
+		r, err := c.Irecv(recvAt(j), e.Peer, tagBase+e.Tag)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, r)
+	}
+	for i, e := range out {
+		if e.Peer == mpi.ProcNull {
+			continue
+		}
+		r, err := c.Isend(sendAt(i), e.Peer, tagBase+e.Tag)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, r)
+	}
+	return mpi.Waitall(reqs...)
+}
+
+func checkNeighborArgs(in, out []mpi.NeighborEdge, send, recv mpi.Buf, per int, gather bool) error {
+	sendNeed := per * len(out)
+	if gather {
+		sendNeed = per
+	}
+	switch {
+	case per < 0:
+		return fmt.Errorf("coll: negative neighbor block size %d", per)
+	case send.Len() < sendNeed:
+		return fmt.Errorf("coll: neighbor send buffer %dB < %dB", send.Len(), sendNeed)
+	case recv.Len() < per*len(in):
+		return fmt.Errorf("coll: neighbor recv buffer %dB < %d slots of %dB", recv.Len(), len(in), per)
+	}
+	return nil
+}
+
+// NeighborAllgather sends the caller's single block of `per` bytes to
+// every out-neighbor and gathers one block per in-neighbor into recv,
+// in neighborhood slot order (MPI_Neighbor_allgather). The algorithm
+// is resolved by the selection engine.
+func NeighborAllgather(c *mpi.Comm, send, recv mpi.Buf, per int) error {
+	in, out, err := neighborhoodOf(c, "neighbor allgather")
+	if err != nil {
+		return err
+	}
+	if err := checkNeighborArgs(in, out, send, recv, per, true); err != nil {
+		return err
+	}
+	en, err := pick(CollNeighborAllgather, envForNeighbor(c, in, out, per), tuningOf(c), false)
+	if err != nil {
+		return err
+	}
+	return en.run.(neighborFn)(c, send, recv, per)
+}
+
+// NeighborAllgatherPairwise is the paired per-dimension exchange
+// (Cartesian topologies only).
+func NeighborAllgatherPairwise(c *mpi.Comm, send, recv mpi.Buf, per int) error {
+	in, out, err := neighborhoodOf(c, "neighbor allgather")
+	if err != nil {
+		return err
+	}
+	if err := checkNeighborArgs(in, out, send, recv, per, true); err != nil {
+		return err
+	}
+	if !c.IsCart() {
+		return fmt.Errorf("coll: pairwise neighbor exchange needs a Cartesian topology")
+	}
+	return runNeighborPairwise(c, tagNeighborAllgather,
+		func(int) mpi.Buf { return send.Slice(0, per) },
+		func(j int) mpi.Buf { return recv.Slice(j*per, per) })
+}
+
+// NeighborAllgatherLinear is the posted-all exchange (any topology).
+func NeighborAllgatherLinear(c *mpi.Comm, send, recv mpi.Buf, per int) error {
+	in, out, err := neighborhoodOf(c, "neighbor allgather")
+	if err != nil {
+		return err
+	}
+	if err := checkNeighborArgs(in, out, send, recv, per, true); err != nil {
+		return err
+	}
+	return runNeighborLinear(c, tagNeighborAllgather,
+		func(int) mpi.Buf { return send.Slice(0, per) },
+		func(j int) mpi.Buf { return recv.Slice(j*per, per) })
+}
+
+// NeighborAlltoall sends a distinct block of `per` bytes to each
+// out-neighbor (send slot i to out-neighbor i) and gathers one block
+// per in-neighbor (MPI_Neighbor_alltoall). The algorithm is resolved
+// by the selection engine.
+func NeighborAlltoall(c *mpi.Comm, send, recv mpi.Buf, per int) error {
+	in, out, err := neighborhoodOf(c, "neighbor alltoall")
+	if err != nil {
+		return err
+	}
+	if err := checkNeighborArgs(in, out, send, recv, per, false); err != nil {
+		return err
+	}
+	en, err := pick(CollNeighborAlltoall, envForNeighbor(c, in, out, per), tuningOf(c), false)
+	if err != nil {
+		return err
+	}
+	return en.run.(neighborFn)(c, send, recv, per)
+}
+
+// NeighborAlltoallPairwise is the paired per-dimension exchange
+// (Cartesian topologies only).
+func NeighborAlltoallPairwise(c *mpi.Comm, send, recv mpi.Buf, per int) error {
+	in, out, err := neighborhoodOf(c, "neighbor alltoall")
+	if err != nil {
+		return err
+	}
+	if err := checkNeighborArgs(in, out, send, recv, per, false); err != nil {
+		return err
+	}
+	if !c.IsCart() {
+		return fmt.Errorf("coll: pairwise neighbor exchange needs a Cartesian topology")
+	}
+	return runNeighborPairwise(c, tagNeighborAlltoall,
+		func(i int) mpi.Buf { return send.Slice(i*per, per) },
+		func(j int) mpi.Buf { return recv.Slice(j*per, per) })
+}
+
+// NeighborAlltoallLinear is the posted-all exchange (any topology).
+func NeighborAlltoallLinear(c *mpi.Comm, send, recv mpi.Buf, per int) error {
+	in, out, err := neighborhoodOf(c, "neighbor alltoall")
+	if err != nil {
+		return err
+	}
+	if err := checkNeighborArgs(in, out, send, recv, per, false); err != nil {
+		return err
+	}
+	return runNeighborLinear(c, tagNeighborAlltoall,
+		func(i int) mpi.Buf { return send.Slice(i*per, per) },
+		func(j int) mpi.Buf { return recv.Slice(j*per, per) })
+}
+
+// nbrOffsets turns per-slot byte counts into packed displacements and
+// validates the buffer length.
+func nbrOffsets(counts []int, buf mpi.Buf, what string) ([]int, error) {
+	offs := make([]int, len(counts))
+	total := 0
+	for i, n := range counts {
+		if n < 0 {
+			return nil, fmt.Errorf("coll: negative %s count %d at slot %d", what, n, i)
+		}
+		offs[i] = total
+		total += n
+	}
+	if buf.Len() < total {
+		return nil, fmt.Errorf("coll: %s buffer %dB < %dB of counted blocks", what, buf.Len(), total)
+	}
+	return offs, nil
+}
+
+func checkNeighborVArgs(in, out []mpi.NeighborEdge, sendCounts, recvCounts []int) error {
+	if len(sendCounts) != len(out) {
+		return fmt.Errorf("coll: %d send counts for %d out-neighbors", len(sendCounts), len(out))
+	}
+	if len(recvCounts) != len(in) {
+		return fmt.Errorf("coll: %d recv counts for %d in-neighbors", len(recvCounts), len(in))
+	}
+	return nil
+}
+
+// NeighborAlltoallv is the irregular complete neighborhood exchange
+// (MPI_Neighbor_alltoallv with packed displacements): sendCounts[i]
+// bytes go to out-neighbor i, recvCounts[j] bytes arrive from
+// in-neighbor j, blocks packed back to back in slot order. The
+// algorithm is resolved by the selection engine.
+func NeighborAlltoallv(c *mpi.Comm, send mpi.Buf, sendCounts []int, recv mpi.Buf, recvCounts []int) error {
+	in, out, err := neighborhoodOf(c, "neighbor alltoallv")
+	if err != nil {
+		return err
+	}
+	if err := checkNeighborVArgs(in, out, sendCounts, recvCounts); err != nil {
+		return err
+	}
+	bytes := 0
+	for _, n := range sendCounts {
+		if n > bytes {
+			bytes = n
+		}
+	}
+	en, err := pick(CollNeighborAlltoallv, envForNeighbor(c, in, out, bytes), tuningOf(c), false)
+	if err != nil {
+		return err
+	}
+	return en.run.(neighborVFn)(c, send, sendCounts, recv, recvCounts)
+}
+
+// neighborVBufs resolves the per-slot block addressing of the
+// irregular exchange.
+func neighborVBufs(send mpi.Buf, sendCounts []int, recv mpi.Buf, recvCounts []int) (sendAt, recvAt nbrBufFn, err error) {
+	soffs, err := nbrOffsets(sendCounts, send, "neighbor send")
+	if err != nil {
+		return nil, nil, err
+	}
+	roffs, err := nbrOffsets(recvCounts, recv, "neighbor recv")
+	if err != nil {
+		return nil, nil, err
+	}
+	return func(i int) mpi.Buf { return send.Slice(soffs[i], sendCounts[i]) },
+		func(j int) mpi.Buf { return recv.Slice(roffs[j], recvCounts[j]) }, nil
+}
+
+// NeighborAlltoallvPairwise is the paired per-dimension irregular
+// exchange (Cartesian topologies only).
+func NeighborAlltoallvPairwise(c *mpi.Comm, send mpi.Buf, sendCounts []int, recv mpi.Buf, recvCounts []int) error {
+	in, out, err := neighborhoodOf(c, "neighbor alltoallv")
+	if err != nil {
+		return err
+	}
+	if err := checkNeighborVArgs(in, out, sendCounts, recvCounts); err != nil {
+		return err
+	}
+	if !c.IsCart() {
+		return fmt.Errorf("coll: pairwise neighbor exchange needs a Cartesian topology")
+	}
+	sendAt, recvAt, err := neighborVBufs(send, sendCounts, recv, recvCounts)
+	if err != nil {
+		return err
+	}
+	return runNeighborPairwise(c, tagNeighborAlltoallv, sendAt, recvAt)
+}
+
+// NeighborAlltoallvLinear is the posted-all irregular exchange (any
+// topology).
+func NeighborAlltoallvLinear(c *mpi.Comm, send mpi.Buf, sendCounts []int, recv mpi.Buf, recvCounts []int) error {
+	in, out, err := neighborhoodOf(c, "neighbor alltoallv")
+	if err != nil {
+		return err
+	}
+	if err := checkNeighborVArgs(in, out, sendCounts, recvCounts); err != nil {
+		return err
+	}
+	sendAt, recvAt, err := neighborVBufs(send, sendCounts, recv, recvCounts)
+	if err != nil {
+		return err
+	}
+	return runNeighborLinear(c, tagNeighborAlltoallv, sendAt, recvAt)
+}
+
+// ineighborSched compiles the one-round posted-all schedule shared by
+// the nonblocking neighborhood collectives: all receives (slot order),
+// then all sends, relative tags straight from the neighborhood edges.
+func ineighborSched(c *mpi.Comm, in, out []mpi.NeighborEdge, sendAt, recvAt nbrBufFn) *mpi.Sched {
+	ops := make([]mpi.SchedOp, 0, len(in)+len(out))
+	for j, e := range in {
+		if e.Peer == mpi.ProcNull {
+			continue
+		}
+		ops = append(ops, mpi.SchedRecv(recvAt(j), e.Peer, e.Tag))
+	}
+	for i, e := range out {
+		if e.Peer == mpi.ProcNull {
+			continue
+		}
+		ops = append(ops, mpi.SchedSend(sendAt(i), e.Peer, e.Tag))
+	}
+	if len(ops) == 0 {
+		return c.NewSched(nil)
+	}
+	return c.NewSched([]mpi.Round{{Ops: ops}})
+}
+
+// IneighborAllgather starts a nonblocking neighborhood allgather as a
+// schedule on the asynchronous progress engine (mpi.Sched): one round
+// posting every receive and send, completion fused at Wait. send and
+// recv must stay untouched until Wait.
+func IneighborAllgather(c *mpi.Comm, send, recv mpi.Buf, per int) (*mpi.Sched, error) {
+	in, out, err := neighborhoodOf(c, "ineighbor allgather")
+	if err != nil {
+		return nil, err
+	}
+	if err := checkNeighborArgs(in, out, send, recv, per, true); err != nil {
+		return nil, err
+	}
+	return ineighborSched(c, in, out,
+		func(int) mpi.Buf { return send.Slice(0, per) },
+		func(j int) mpi.Buf { return recv.Slice(j*per, per) }), nil
+}
+
+// IneighborAlltoall starts a nonblocking neighborhood alltoall as a
+// schedule on the asynchronous progress engine (mpi.Sched). send and
+// recv must stay untouched until Wait.
+func IneighborAlltoall(c *mpi.Comm, send, recv mpi.Buf, per int) (*mpi.Sched, error) {
+	in, out, err := neighborhoodOf(c, "ineighbor alltoall")
+	if err != nil {
+		return nil, err
+	}
+	if err := checkNeighborArgs(in, out, send, recv, per, false); err != nil {
+		return nil, err
+	}
+	return ineighborSched(c, in, out,
+		func(i int) mpi.Buf { return send.Slice(i*per, per) },
+		func(j int) mpi.Buf { return recv.Slice(j*per, per) }), nil
+}

@@ -17,6 +17,8 @@ import (
 // registry and in Tuning.Force keys.
 type Collective int
 
+// The collective families the registry enumerates, in the order the
+// engine registers them.
 const (
 	CollAllgather Collective = iota
 	CollAllgatherv
@@ -27,6 +29,9 @@ const (
 	CollAlltoall
 	CollGather
 	CollScan
+	CollNeighborAllgather
+	CollNeighborAlltoall
+	CollNeighborAlltoallv
 	numCollectives
 )
 
@@ -51,6 +56,12 @@ func (cl Collective) String() string {
 		return "gather"
 	case CollScan:
 		return "scan"
+	case CollNeighborAllgather:
+		return "neighborallgather"
+	case CollNeighborAlltoall:
+		return "neighboralltoall"
+	case CollNeighborAlltoallv:
+		return "neighboralltoallv"
 	default:
 		return fmt.Sprintf("Collective(%d)", int(cl))
 	}
@@ -78,6 +89,14 @@ type Env struct {
 	Count int
 	Model *sim.CostModel
 	Hop   sim.HopClass
+
+	// Degree and Cart describe the neighborhood of the Neighbor*
+	// collectives: the larger of the non-null in/out neighbor counts,
+	// and whether the communicator carries a Cartesian topology (the
+	// pairwise per-dimension exchange needs the grid's paired
+	// direction structure). Zero-valued for the global collectives.
+	Degree int
+	Cart   bool
 }
 
 // envFor derives the selection environment of a call on a communicator.
@@ -103,6 +122,8 @@ type (
 	alltoallFn         = func(*mpi.Comm, mpi.Buf, mpi.Buf, int) error
 	gatherFn           = func(*mpi.Comm, mpi.Buf, mpi.Buf, int, int) error
 	scanFn             = func(*mpi.Comm, mpi.Buf, mpi.Buf, int, mpi.Datatype, mpi.Op) error
+	neighborFn         = func(*mpi.Comm, mpi.Buf, mpi.Buf, int) error
+	neighborVFn        = func(*mpi.Comm, mpi.Buf, []int, mpi.Buf, []int) error
 )
 
 // entry is one registered algorithm.
@@ -328,6 +349,45 @@ var registry = [numCollectives][]entry{
 			run: gatherFn(GatherLinear),
 		},
 	},
+	CollNeighborAllgather: {
+		{
+			name:    "pairwise",
+			applies: func(e Env) bool { return e.Cart },
+			cost:    neighborPairwiseCost,
+			run:     neighborFn(NeighborAllgatherPairwise),
+		},
+		{
+			name: "linear",
+			cost: neighborLinearCost,
+			run:  neighborFn(NeighborAllgatherLinear),
+		},
+	},
+	CollNeighborAlltoall: {
+		{
+			name:    "pairwise",
+			applies: func(e Env) bool { return e.Cart },
+			cost:    neighborPairwiseCost,
+			run:     neighborFn(NeighborAlltoallPairwise),
+		},
+		{
+			name: "linear",
+			cost: neighborLinearCost,
+			run:  neighborFn(NeighborAlltoallLinear),
+		},
+	},
+	CollNeighborAlltoallv: {
+		{
+			name:    "pairwise",
+			applies: func(e Env) bool { return e.Cart },
+			cost:    neighborPairwiseCost,
+			run:     neighborVFn(NeighborAlltoallvPairwise),
+		},
+		{
+			name: "linear",
+			cost: neighborLinearCost,
+			run:  neighborVFn(NeighborAlltoallvLinear),
+		},
+	},
 	CollScan: {
 		{
 			name: "recdbl",
@@ -398,6 +458,14 @@ func tableChoice(cl Collective, e Env, inPlace bool) string {
 	case CollScan:
 		// The historical Scan was always recursive doubling.
 		return "recdbl"
+	case CollNeighborAllgather, CollNeighborAlltoall, CollNeighborAlltoallv:
+		// On grids the paired per-dimension exchange mirrors the
+		// hand-rolled halo pattern stencil codes use (and its virtual
+		// timeline); irregular graphs take the posted-all path.
+		if e.Cart {
+			return "pairwise"
+		}
+		return "linear"
 	}
 	return ""
 }

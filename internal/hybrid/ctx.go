@@ -1,17 +1,3 @@
-// Package hybrid implements the paper's contribution: MPI collective
-// operations for the hybrid MPI+MPI programming model. Each node keeps
-// exactly one copy of replicated data in an MPI-3 shared-memory window;
-// only the per-node leader takes part in the inter-node exchange over
-// the bridge communicator; the other on-node ranks ("children") access
-// the shared segment directly and synchronize with the leader around the
-// exchange (Figs. 4 and 6 of the paper).
-//
-// With a multi-level topology the shared window (and its sync domain)
-// can sit at any shared-memory level: the paper's node scheme is the
-// default, a socket- or numa-level window turns every socket/numa
-// leader into a bridge participant (more exchange parallelism, smaller
-// windows). The level is selected with WithSharedLevel or the
-// sharedlevel= key of coll.Tuning / REPRO_COLL_TUNING.
 package hybrid
 
 import (

@@ -37,6 +37,11 @@ type Comm struct {
 	ctree  *clockTree
 	cfuser *clockFuser
 
+	// ptopo is the process topology (Cartesian grid or distributed
+	// graph) attached by CartCreate / DistGraphCreate, nil on plain
+	// communicators. See topo.go.
+	ptopo *procTopo
+
 	oneNode int8 // cached single-node test: 0 unknown, 1 yes, -1 no
 	hopCl   int8 // cached comm-wide hop class: 0 unknown, else class+1
 }

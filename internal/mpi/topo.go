@@ -1,0 +1,503 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// This file implements process topologies: Cartesian grids
+// (MPI_Cart_create and its coordinate queries) and distributed graphs
+// (MPI_Dist_graph_create), attached to communicator handles. A
+// topology-carrying communicator exposes a neighborhood — ordered in-
+// and out-edge lists — which internal/coll's neighborhood collectives
+// iterate. The optional Cartesian reorder maps grid bricks onto
+// machine-topology groups (sim.TileExtents) so grid neighbors land on
+// low hop classes.
+
+// ProcNull is the null process rank (MPI_PROC_NULL): the value
+// CartShift reports past a non-periodic boundary. A neighborhood slot
+// whose peer is ProcNull takes part in no transfer, but its buffer
+// block keeps its position.
+const ProcNull = -1
+
+// MaxCartDims bounds the dimensionality of a Cartesian topology: the
+// largest grid whose direction-of-travel tags (2*dim+dir, at most
+// 2*MaxCartDims-1) still fit inside one nonblocking-schedule tag
+// stride (see mpi.Sched's schedTagStride), so neighborhood schedules
+// can never alias tags across dimensions.
+const MaxCartDims = schedTagStride / 2
+
+// NeighborEdge is one edge of a communicator's neighborhood: the peer
+// (a comm rank, or ProcNull for a missing Cartesian neighbor) and the
+// schedule-relative matching tag both endpoints of the edge derive
+// independently. On Cartesian topologies the tag encodes the
+// direction of travel (2*dim for the negative direction, 2*dim+1 for
+// the positive), which keeps blocks unambiguous even when both
+// directions of a dimension reach the same peer (2-wide periodic
+// dims) or the peer is the rank itself (1-wide periodic dims). On
+// graph topologies the tag is 0 and FIFO ordering pairs multi-edges.
+type NeighborEdge struct {
+	Peer int
+	Tag  int
+}
+
+// procTopo is the topology state attached to a communicator handle.
+type procTopo struct {
+	cart    *cartInfo      // non-nil for Cartesian topologies
+	in, out []NeighborEdge // neighborhood, shared read-only
+}
+
+// cartInfo is the Cartesian grid shape. Coordinates are row-major over
+// dims (the last dimension varies fastest), exactly MPI's convention.
+type cartInfo struct {
+	dims    []int
+	periods []bool
+}
+
+// rowMajorRank linearizes coordinates over dims (last dim fastest).
+func rowMajorRank(coords, dims []int) int {
+	r := 0
+	for d := range dims {
+		r = r*dims[d] + coords[d]
+	}
+	return r
+}
+
+// rowMajorCoords fills out with the coordinates of rank over dims.
+func rowMajorCoords(rank int, dims, out []int) {
+	for d := len(dims) - 1; d >= 0; d-- {
+		out[d] = rank % dims[d]
+		rank /= dims[d]
+	}
+}
+
+// cartPlan is the shared outcome of one CartCreate call: the grid's
+// context id and rank table plus every parent rank's grid position,
+// computed once by whichever member arrives first (SetupOnce) — the
+// partition is fully determined by world-global data, so no exchange
+// runs.
+type cartPlan struct {
+	info   *cartInfo
+	ctx    int
+	ranks  []int // grid rank -> global rank
+	gridOf []int // parent comm rank -> grid rank, -1 beyond the volume
+}
+
+// CartCreate builds a communicator with an attached N-dimensional
+// Cartesian topology (MPI_Cart_create): dims are the per-dimension
+// extents, periods marks the wraparound dimensions. Ranks beyond the
+// grid volume receive nil (MPI_COMM_NULL); the call is collective over
+// the parent communicator.
+//
+// With reorder false, comm ranks keep the parent's order: grid rank r
+// is parent comm rank r, bit-for-bit the layout a hand-rolled
+// decomposition over the parent would use. With reorder true, the
+// runtime may permute ranks so that each machine-topology node holds a
+// compact brick of the grid (sim.TileExtents over the node size),
+// turning most halo neighbors into intra-node peers; when no exact
+// brick decomposition exists the identity order is kept. The partition
+// is a pure function of the machine topology, the parent rank table
+// and the grid, so one member computes it and the rest perform O(1)
+// lookups (SetupOnce) — no exchange, like SplitLevel.
+func (c *Comm) CartCreate(dims []int, periods []bool, reorder bool) (*Comm, error) {
+	if c == nil {
+		return nil, fmt.Errorf("mpi: CartCreate on nil communicator")
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("mpi: CartCreate needs at least one dimension")
+	}
+	if len(dims) > MaxCartDims {
+		// Direction-of-travel tags (2*dim+dir) must fit the schedule
+		// tag stride of the nonblocking neighborhood collectives;
+		// beyond it, tags would alias across dimensions and match
+		// blocks into the wrong slots. Fail loudly instead.
+		return nil, fmt.Errorf("mpi: CartCreate supports at most %d dimensions, got %d", MaxCartDims, len(dims))
+	}
+	if len(periods) != len(dims) {
+		return nil, fmt.Errorf("mpi: CartCreate got %d dims but %d periods", len(dims), len(periods))
+	}
+	vol := 1
+	for d, n := range dims {
+		if n <= 0 {
+			return nil, fmt.Errorf("mpi: CartCreate dimension %d has extent %d", d, n)
+		}
+		vol *= n
+	}
+	if vol > len(c.ranks) {
+		return nil, fmt.Errorf("mpi: CartCreate grid volume %d exceeds communicator size %d", vol, len(c.ranks))
+	}
+
+	v, err := SetupOnce(c, func() (any, error) {
+		return buildCartPlan(c, dims, periods, vol, reorder), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	plan := v.(*cartPlan)
+	g := plan.gridOf[c.rank]
+	if g < 0 {
+		return nil, nil
+	}
+	nc := c.NewGroupComm(plan.ctx, plan.ranks, g)
+	in, out := cartEdges(plan.info, g)
+	nc.ptopo = &procTopo{cart: plan.info, in: in, out: out}
+	return nc, nil
+}
+
+// buildCartPlan assembles the shared plan of one CartCreate call.
+func buildCartPlan(c *Comm, dims []int, periods []bool, vol int, reorder bool) *cartPlan {
+	plan := &cartPlan{
+		info: &cartInfo{
+			dims:    append([]int(nil), dims...),
+			periods: append([]bool(nil), periods...),
+		},
+		ctx:    c.p.world.newContext(),
+		ranks:  make([]int, vol),
+		gridOf: make([]int, len(c.ranks)),
+	}
+	var perm []int // parent comm rank -> grid rank; nil = identity
+	if reorder {
+		perm = cartReorderPlan(c, dims, vol)
+	}
+	for r := range plan.gridOf {
+		plan.gridOf[r] = -1
+	}
+	for r := 0; r < vol; r++ {
+		g := r
+		if perm != nil {
+			g = perm[r]
+		}
+		plan.gridOf[r] = g
+		plan.ranks[g] = c.ranks[r]
+	}
+	return plan
+}
+
+// cartReorderPlan computes the parent-rank -> grid-rank permutation of
+// a reordering CartCreate, or nil when the identity order must be
+// kept. The heuristic: the first vol parent ranks must fall into
+// equal-length runs of node-sharing members (SMP placement gives
+// exactly that), and the node size must brick-decompose the grid
+// (sim.TileExtents). Each node then owns one brick, enumerated
+// row-major over the brick grid, with the node's members filling the
+// brick row-major — so every neighbor pair inside a brick is an
+// intra-node hop.
+func cartReorderPlan(c *Comm, dims []int, vol int) []int {
+	topo := c.p.world.topo
+	// Runs of node-sharing members over the first vol parent ranks.
+	ppn := 0
+	runStart, runNode := 0, topo.NodeOf(c.ranks[0])
+	for r := 1; r <= vol; r++ {
+		if r == vol || topo.NodeOf(c.ranks[r]) != runNode {
+			runLen := r - runStart
+			if ppn == 0 {
+				ppn = runLen
+			} else if runLen != ppn {
+				return nil
+			}
+			if r < vol {
+				runStart, runNode = r, topo.NodeOf(c.ranks[r])
+			}
+		}
+	}
+	if ppn <= 1 || vol%ppn != 0 {
+		return nil
+	}
+	ext, ok := sim.TileExtents(ppn, dims)
+	if !ok {
+		return nil
+	}
+	tdims := make([]int, len(dims))
+	for d := range dims {
+		tdims[d] = dims[d] / ext[d]
+	}
+	plan := make([]int, vol)
+	coords := make([]int, len(dims))
+	tc := make([]int, len(dims))
+	lc := make([]int, len(dims))
+	for r := 0; r < vol; r++ {
+		rowMajorCoords(r/ppn, tdims, tc)
+		rowMajorCoords(r%ppn, ext, lc)
+		for d := range coords {
+			coords[d] = tc[d]*ext[d] + lc[d]
+		}
+		plan[r] = rowMajorRank(coords, dims)
+	}
+	return plan
+}
+
+// cartEdges builds the neighborhood of one grid rank: for each
+// dimension, the negative-direction neighbor then the positive one —
+// MPI's neighbor order for Cartesian neighborhood collectives.
+// Missing neighbors (past a non-periodic boundary) appear as ProcNull
+// edges so buffer slots keep their positions. Tags encode direction
+// of travel: a block sent toward negative (tag 2d) arrives at its
+// receiver's positive-side slot, and vice versa.
+func cartEdges(info *cartInfo, rank int) (in, out []NeighborEdge) {
+	nd := len(info.dims)
+	coords := make([]int, nd)
+	rowMajorCoords(rank, info.dims, coords)
+	in = make([]NeighborEdge, 0, 2*nd)
+	out = make([]NeighborEdge, 0, 2*nd)
+	for d := 0; d < nd; d++ {
+		neg := cartNeighbor(info, coords, d, -1)
+		pos := cartNeighbor(info, coords, d, +1)
+		// In-slot order per dim: the neighbor on the negative side
+		// (whose block traveled positive, tag 2d+1), then the
+		// positive side (traveled negative, tag 2d).
+		in = append(in,
+			NeighborEdge{Peer: neg, Tag: 2*d + 1},
+			NeighborEdge{Peer: pos, Tag: 2 * d})
+		out = append(out,
+			NeighborEdge{Peer: neg, Tag: 2 * d},
+			NeighborEdge{Peer: pos, Tag: 2*d + 1})
+	}
+	return in, out
+}
+
+// cartNeighbor resolves the neighbor of coords displaced by delta
+// along dim: wrapped on periodic dims, ProcNull past a non-periodic
+// boundary.
+func cartNeighbor(info *cartInfo, coords []int, dim, delta int) int {
+	n := info.dims[dim]
+	nc := coords[dim] + delta
+	if info.periods[dim] {
+		nc = ((nc % n) + n) % n
+	} else if nc < 0 || nc >= n {
+		return ProcNull
+	}
+	old := coords[dim]
+	coords[dim] = nc
+	r := rowMajorRank(coords, info.dims)
+	coords[dim] = old
+	return r
+}
+
+// CartDims reports the Cartesian grid attached to the communicator
+// (copies of the extents and periodicity flags), with ok false when
+// the communicator carries no Cartesian topology.
+func (c *Comm) CartDims() (dims []int, periods []bool, ok bool) {
+	if c.ptopo == nil || c.ptopo.cart == nil {
+		return nil, nil, false
+	}
+	info := c.ptopo.cart
+	return append([]int(nil), info.dims...), append([]bool(nil), info.periods...), true
+}
+
+// CartCoords translates a comm rank to grid coordinates
+// (MPI_Cart_coords).
+func (c *Comm) CartCoords(rank int) ([]int, error) {
+	if c.ptopo == nil || c.ptopo.cart == nil {
+		return nil, fmt.Errorf("mpi: CartCoords on a communicator without Cartesian topology")
+	}
+	if err := c.validRank(rank, false); err != nil {
+		return nil, err
+	}
+	info := c.ptopo.cart
+	coords := make([]int, len(info.dims))
+	rowMajorCoords(rank, info.dims, coords)
+	return coords, nil
+}
+
+// CartRank translates grid coordinates to a comm rank (MPI_Cart_rank).
+// Coordinates on periodic dimensions wrap; out-of-range coordinates on
+// non-periodic dimensions are an error.
+func (c *Comm) CartRank(coords []int) (int, error) {
+	if c.ptopo == nil || c.ptopo.cart == nil {
+		return 0, fmt.Errorf("mpi: CartRank on a communicator without Cartesian topology")
+	}
+	info := c.ptopo.cart
+	if len(coords) != len(info.dims) {
+		return 0, fmt.Errorf("mpi: CartRank got %d coordinates for a %d-dim grid", len(coords), len(info.dims))
+	}
+	wrapped := make([]int, len(coords))
+	for d, x := range coords {
+		n := info.dims[d]
+		if info.periods[d] {
+			x = ((x % n) + n) % n
+		} else if x < 0 || x >= n {
+			return 0, fmt.Errorf("mpi: CartRank coordinate %d out of range on non-periodic dim %d (extent %d)", x, d, n)
+		}
+		wrapped[d] = x
+	}
+	return rowMajorRank(wrapped, info.dims), nil
+}
+
+// CartShift reports the calling rank's neighbors displaced by ±disp
+// along dim (MPI_Cart_shift): src is the rank disp steps in the
+// negative direction (the one whose data arrives when everybody sends
+// positive), dst the rank disp steps positive. Past a non-periodic
+// boundary the respective value is ProcNull.
+func (c *Comm) CartShift(dim, disp int) (src, dst int, err error) {
+	if c.ptopo == nil || c.ptopo.cart == nil {
+		return 0, 0, fmt.Errorf("mpi: CartShift on a communicator without Cartesian topology")
+	}
+	info := c.ptopo.cart
+	if dim < 0 || dim >= len(info.dims) {
+		return 0, 0, fmt.Errorf("mpi: CartShift dimension %d out of range on a %d-dim grid", dim, len(info.dims))
+	}
+	coords := make([]int, len(info.dims))
+	rowMajorCoords(c.rank, info.dims, coords)
+	return cartNeighbor(info, coords, dim, -disp), cartNeighbor(info, coords, dim, +disp), nil
+}
+
+// Neighborhood returns the communicator's neighborhood edge lists
+// (read-only, shared): in-edges in receive-slot order and out-edges in
+// send-slot order. ok is false on communicators without a process
+// topology. Cartesian neighborhoods list 2*ndims slots (per dim:
+// negative then positive side) and may contain ProcNull peers; graph
+// neighborhoods list exactly the declared edges.
+func (c *Comm) Neighborhood() (in, out []NeighborEdge, ok bool) {
+	if c.ptopo == nil {
+		return nil, nil, false
+	}
+	return c.ptopo.in, c.ptopo.out, true
+}
+
+// IsCart reports whether the communicator carries a Cartesian process
+// topology (as opposed to none, or a distributed graph).
+func (c *Comm) IsCart() bool { return c.ptopo != nil && c.ptopo.cart != nil }
+
+// distGraphContrib is one member's edge contribution to
+// DistGraphCreate.
+type distGraphContrib struct {
+	srcs, dsts []int
+}
+
+// distGraphPlan is the assembled adjacency of a DistGraphCreate call,
+// computed by comm rank 0 and shared read-only.
+type distGraphPlan struct {
+	in, out [][]NeighborEdge
+}
+
+// DistGraphCreateAdjacent attaches a distributed-graph topology from
+// adjacent edge lists (MPI_Dist_graph_create_adjacent): sources are
+// the comm ranks this rank receives from, destinations the ranks it
+// sends to, in neighborhood slot order. The edge sets must be
+// mutually consistent across ranks — the k-th occurrence of rank s in
+// my sources pairs with the k-th occurrence of me in s's destinations.
+// reorder is accepted for symmetry with CartCreate but the identity
+// order is always kept (as MPI permits). The call is collective and
+// returns a new communicator.
+func (c *Comm) DistGraphCreateAdjacent(sources, destinations []int, reorder bool) (*Comm, error) {
+	if c == nil {
+		return nil, fmt.Errorf("mpi: DistGraphCreateAdjacent on nil communicator")
+	}
+	for _, r := range sources {
+		if err := c.validRank(r, false); err != nil {
+			return nil, fmt.Errorf("mpi: DistGraphCreateAdjacent source: %w", err)
+		}
+	}
+	for _, r := range destinations {
+		if err := c.validRank(r, false); err != nil {
+			return nil, fmt.Errorf("mpi: DistGraphCreateAdjacent destination: %w", err)
+		}
+	}
+	nc, err := c.dupDerived()
+	if err != nil {
+		return nil, err
+	}
+	nc.ptopo = &procTopo{in: edgeList(sources), out: edgeList(destinations)}
+	return nc, nil
+}
+
+// dupDerived is an exchange-free communicator duplicate: the rank
+// table is inherited and only the fresh context id needs to be agreed,
+// which SetupOnce shares without a rendezvous.
+func (c *Comm) dupDerived() (*Comm, error) {
+	v, err := SetupOnce(c, func() (any, error) { return c.p.world.newContext(), nil })
+	if err != nil {
+		return nil, err
+	}
+	return c.NewGroupComm(v.(int), c.ranks, c.rank), nil
+}
+
+// edgeList wraps plain peer ranks as tag-0 neighborhood edges.
+func edgeList(peers []int) []NeighborEdge {
+	edges := make([]NeighborEdge, len(peers))
+	for i, p := range peers {
+		edges[i] = NeighborEdge{Peer: p}
+	}
+	return edges
+}
+
+// DistGraphCreate attaches a distributed-graph topology from an
+// arbitrary edge contribution (MPI_Dist_graph_create): this rank
+// declares degrees[i] edges from sources[i] to the next entries of
+// destinations — any rank may contribute any edge, and the union over
+// all members forms the graph. Every rank's resulting neighbor lists
+// are sorted by peer rank (a deterministic order MPI leaves
+// implementation-defined), so multi-edges pair by ascending position.
+// The call is collective and returns a new communicator.
+func (c *Comm) DistGraphCreate(sources, degrees, destinations []int, reorder bool) (*Comm, error) {
+	if c == nil {
+		return nil, fmt.Errorf("mpi: DistGraphCreate on nil communicator")
+	}
+	if len(degrees) != len(sources) {
+		return nil, fmt.Errorf("mpi: DistGraphCreate got %d sources but %d degrees", len(sources), len(degrees))
+	}
+	total := 0
+	for i, deg := range degrees {
+		if deg < 0 {
+			return nil, fmt.Errorf("mpi: DistGraphCreate negative degree for source %d", sources[i])
+		}
+		total += deg
+	}
+	if total != len(destinations) {
+		return nil, fmt.Errorf("mpi: DistGraphCreate degrees sum to %d but %d destinations given", total, len(destinations))
+	}
+	for _, r := range sources {
+		if err := c.validRank(r, false); err != nil {
+			return nil, fmt.Errorf("mpi: DistGraphCreate source: %w", err)
+		}
+	}
+	for _, r := range destinations {
+		if err := c.validRank(r, false); err != nil {
+			return nil, fmt.Errorf("mpi: DistGraphCreate destination: %w", err)
+		}
+	}
+	// Flatten this member's contribution into parallel edge arrays.
+	contrib := distGraphContrib{}
+	k := 0
+	for i, src := range sources {
+		for j := 0; j < degrees[i]; j++ {
+			contrib.srcs = append(contrib.srcs, src)
+			contrib.dsts = append(contrib.dsts, destinations[k])
+			k++
+		}
+	}
+	n := len(c.ranks)
+	plan, err := SharePlan(c, contrib, func(vals []any) *distGraphPlan {
+		p := &distGraphPlan{in: make([][]NeighborEdge, n), out: make([][]NeighborEdge, n)}
+		for _, v := range vals {
+			e := v.(distGraphContrib)
+			for i := range e.srcs {
+				src, dst := e.srcs[i], e.dsts[i]
+				p.out[src] = append(p.out[src], NeighborEdge{Peer: dst})
+				p.in[dst] = append(p.in[dst], NeighborEdge{Peer: src})
+			}
+		}
+		for r := 0; r < n; r++ {
+			sortEdges(p.in[r])
+			sortEdges(p.out[r])
+		}
+		return p
+	})
+	if err != nil {
+		return nil, err
+	}
+	nc, err := c.dupDerived()
+	if err != nil {
+		return nil, err
+	}
+	nc.ptopo = &procTopo{in: plan.in[nc.rank], out: plan.out[nc.rank]}
+	return nc, nil
+}
+
+// sortEdges orders a neighbor list ascending by peer rank — the pinned
+// deterministic adjacency order of DistGraphCreate.
+func sortEdges(edges []NeighborEdge) {
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Peer < edges[j].Peer })
+}

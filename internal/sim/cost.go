@@ -68,6 +68,7 @@ type LevelCost struct {
 // without an import cycle.
 type AllgatherAlg int
 
+// The allgather algorithm choices a tuning table can force.
 const (
 	AllgatherAuto AllgatherAlg = iota
 	AllgatherRecursiveDoubling
@@ -78,6 +79,7 @@ const (
 // BcastAlg enumerates broadcast algorithm choices.
 type BcastAlg int
 
+// The broadcast algorithm choices a tuning table can force.
 const (
 	BcastAuto BcastAlg = iota
 	BcastBinomial

@@ -1,0 +1,75 @@
+package sim
+
+// Grid-to-level-stack mapping support for reordered Cartesian process
+// topologies (mpi.CartCreate with reorder). The placement problem is:
+// carve an N-dimensional process grid into equal bricks of `volume`
+// ranks each — one brick per topology group — so that as many grid
+// neighbors as possible share the group and their halo traffic stays on
+// the cheap hop class. TileExtents computes the brick shape; the rank
+// permutation itself is assembled by internal/mpi from the brick
+// enumeration order.
+
+// TileExtents factors volume into one extent per grid dimension so that
+// extents[d] divides dims[d] and the extents multiply to volume — an
+// exact brick decomposition of the grid into volume-sized tiles. The
+// heuristic aims for compact (low-surface) bricks: volume's prime
+// factors are assigned largest-first, each to the currently shortest
+// brick edge that can still absorb it. Returns ok=false when no exact
+// decomposition exists (volume does not divide the grid this way), in
+// which case callers fall back to the unreordered identity placement.
+// The result is deterministic: same inputs, same extents.
+func TileExtents(volume int, dims []int) ([]int, bool) {
+	if volume <= 0 || len(dims) == 0 {
+		return nil, false
+	}
+	total := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, false
+		}
+		total *= d
+	}
+	if total%volume != 0 {
+		return nil, false
+	}
+	ext := make([]int, len(dims))
+	for i := range ext {
+		ext[i] = 1
+	}
+	for _, f := range primeFactorsDesc(volume) {
+		best := -1
+		for d := range dims {
+			if dims[d]%(ext[d]*f) != 0 {
+				continue
+			}
+			if best < 0 || ext[d] < ext[best] {
+				best = d
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		ext[best] *= f
+	}
+	return ext, true
+}
+
+// primeFactorsDesc returns n's prime factorization with multiplicity,
+// largest factor first (the assignment order of TileExtents).
+func primeFactorsDesc(n int) []int {
+	var fac []int
+	for f := 2; f*f <= n; f++ {
+		for n%f == 0 {
+			fac = append(fac, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		fac = append(fac, n)
+	}
+	// The trial division above emits ascending factors; reverse.
+	for i, j := 0, len(fac)-1; i < j; i, j = i+1, j-1 {
+		fac[i], fac[j] = fac[j], fac[i]
+	}
+	return fac
+}

@@ -1,15 +1,3 @@
-// Package sim provides the virtual-time cluster substrate used by the
-// MPI-like runtime in internal/mpi.
-//
-// The reproduction target (Zhou, Gracia, Schneider, ICPP'19) was evaluated
-// on a Cray XC40 and a NEC InfiniBand cluster. Neither machine — nor any
-// MPI library — is available here, so the cluster is simulated: every MPI
-// rank is a goroutine that owns a virtual clock, and every communication
-// or memory-copy operation advances clocks through a LogGP-style cost
-// model. Because clocks advance only through explicit, causal rules, the
-// reported latencies are deterministic and independent of the host's
-// scheduler, while data still really moves between ranks so correctness
-// remains testable.
 package sim
 
 import "fmt"
