@@ -55,6 +55,8 @@ func main() {
 	allocSlack := flag.Float64("allocslack", 1.10, "-check: allocs/op ceiling factor over baseline")
 	sweep := flag.String("sweep", "", "extra sweep dimensions: coll,topo,scale,stencil or all")
 	scaleMax := flag.Int("scalemax", 65536, "scale sweep: largest rank count to run")
+	engineSpec := flag.String("engine", "both",
+		"scale sweep execution backend: goroutine, event or both")
 	tuningSpec := flag.String("tuning", "policy=cost",
 		"coll tuning spec for the sweep (see REPRO_COLL_TUNING)")
 	machine := flag.String("machine", "hazelhen-cray", "machine profile for the sweep")
@@ -128,7 +130,11 @@ func main() {
 			printTopoSweep(rep.TopoSweep)
 		}
 		if dims["scale"] {
-			if rep.ScaleSweep, err = bench.RunScaleSweep(mk(), *scaleMax); err != nil {
+			engines, err := parseEngines(*engineSpec)
+			if err != nil {
+				fatal(err)
+			}
+			if rep.ScaleSweep, err = bench.RunScaleSweep(mk(), *scaleMax, engines); err != nil {
 				fatal(err)
 			}
 			printScaleSweep(rep.ScaleSweep)
@@ -241,12 +247,30 @@ func printTopoSweep(s *bench.TopoSweepReport) {
 	}
 }
 
+// parseEngines resolves the -engine flag into the backend list handed
+// to the scale sweep ("both" runs goroutine then event, letting the
+// sweep cross-check their virtual timelines).
+func parseEngines(spec string) ([]sim.Engine, error) {
+	if spec == "" || spec == "both" {
+		return []sim.Engine{sim.EngineGoroutine, sim.EngineEvent}, nil
+	}
+	e, err := sim.ParseEngine(spec)
+	if err != nil {
+		return nil, fmt.Errorf("-engine: %w (or \"both\")", err)
+	}
+	return []sim.Engine{e}, nil
+}
+
 func printScaleSweep(s *bench.ScaleSweepReport) {
 	fmt.Printf("\nscale-sweep (%s, up to %d ranks):\n", s.Model, s.MaxRanks)
 	for _, p := range s.Points {
-		fmt.Printf("  %-10s %5dx%-3d %7d ranks %10.1f ms/op  peakG %7d  peakRSS %5.0f MiB  virtual %10.2f us\n",
-			p.Coll, p.Nodes, p.PPN, p.Ranks, p.NsPerOp/1e6, p.PeakGoroutines,
-			float64(p.PeakRSSBytes)/(1<<20), p.VirtualUs)
+		fold := ""
+		if p.FoldUnit > 0 {
+			fold = fmt.Sprintf(" fold %d", p.FoldUnit)
+		}
+		fmt.Printf("  %-10s %5dx%-3d %7d ranks %-9s %10.1f ms/op  peakG %7d  peakRSS %5.0f MiB  virtual %10.2f us%s\n",
+			p.Coll, p.Nodes, p.PPN, p.Ranks, p.Engine, p.NsPerOp/1e6, p.PeakGoroutines,
+			float64(p.PeakRSSBytes)/(1<<20), p.VirtualUs, fold)
 	}
 }
 

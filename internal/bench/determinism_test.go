@@ -1,6 +1,11 @@
 package bench
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
 
 // The data-plane optimizations (zero-copy buffer views, specialized
 // reduction kernels, pooled matcher records, plan-sharing communicator
@@ -34,6 +39,36 @@ func TestVirtualTimeUnchangedByDataPlane(t *testing.T) {
 		}
 		if int64(got) != want {
 			t.Errorf("%s: virtual makespan %d ps, golden %d ps — the refactor changed virtual time",
+				c.Name, int64(got), want)
+		}
+	}
+}
+
+// TestVirtualTimeIdenticalOnEventEngine is the cross-engine
+// differential gate: every golden workload — the paper's figure-scale
+// runs, the halo stencil, the p2p engine — re-run on the discrete-event
+// backend must land on the same golden picosecond as the goroutine
+// backend. The cases build their worlds internally, so the backend is
+// routed through the package-level default engine.
+func TestVirtualTimeIdenticalOnEventEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-scale runs in -short mode")
+	}
+	prev := mpi.DefaultEngine()
+	mpi.SetDefaultEngine(sim.EngineEvent)
+	defer mpi.SetDefaultEngine(prev)
+	for _, c := range WallCases() {
+		want, ok := goldenVirtualPs[c.Name]
+		if !ok {
+			// Golden coverage is enforced by TestVirtualTimeUnchangedByDataPlane.
+			continue
+		}
+		got, err := c.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if int64(got) != want {
+			t.Errorf("%s: event-engine makespan %d ps, golden %d ps — the engines diverged",
 				c.Name, int64(got), want)
 		}
 	}

@@ -13,8 +13,9 @@
 //     perf-regression gate over a committed baseline.
 //   - The sweep dimensions extend a report: RunCollSweep (selection
 //     crossovers per message size), RunTopoSweep (multi-level
-//     hierarchies), RunScaleSweep (size-only collectives up to 65,536
-//     ranks) and RunStencilSweep (4-dim grid halo exchanges per halo
+//     hierarchies), RunScaleSweep (size-only collectives up to
+//     1,048,576 ranks, per execution backend) and RunStencilSweep
+//     (4-dim grid halo exchanges per halo
 //     width, the process-topology dimension).
 //   - The golden determinism tests pin virtual makespans to the
 //     picosecond, so optimizations to the simulator can never move

@@ -12,17 +12,28 @@ import (
 
 // The scale sweep is the scale-out dimension of cmd/perf -sweep: how
 // fast (in host time) the simulator executes collectives as the rank
-// count grows toward the 100k regime — 64x64 up to 1024x64 = 65,536
-// ranks, far beyond the paper's testbed. Payloads are size-only (no
-// data movement), so the measurement isolates the control plane: rank
-// pool dispatch, matcher traffic, coordinator fusion and geometry
-// setup. Each point records wall ns/op, the peak goroutine count and
-// the process peak RSS, which is what holds the scale-out engine
-// accountable across PRs.
+// count grows toward the million-rank regime — 64x64 up to 16384x64 =
+// 1,048,576 ranks, far beyond the paper's testbed. Payloads are
+// size-only (no data movement), so the measurement isolates the
+// control plane: rank dispatch, matcher traffic, coordinator fusion
+// and geometry setup. Each point records wall ns/op, the peak
+// goroutine count and the process peak RSS, which is what holds the
+// scale-out engine accountable across PRs.
+//
+// Since PR6 every point names its execution backend. The goroutine
+// engine runs every shape up to 65,536 ranks; the discrete-event
+// engine additionally runs the million-rank shape, with rank-symmetry
+// folding applied whenever the coll fold helpers approve the workload
+// (FoldUnit > 0 in the report). When both engines run a point the
+// sweep itself asserts their virtual makespans are bit-identical —
+// the folded event run must reproduce the unfolded goroutine
+// timeline exactly, or the sweep fails.
 
-// ScalePoint is one (shape, collective) measurement.
+// ScalePoint is one (shape, collective, engine) measurement.
 type ScalePoint struct {
 	Coll           string  `json:"coll"`
+	Engine         string  `json:"engine"`    // execution backend of this point
+	FoldUnit       int     `json:"fold_unit"` // rank-symmetry fold unit (0 = unfolded)
 	Nodes          int     `json:"nodes"`
 	PPN            int     `json:"ppn"`
 	Ranks          int     `json:"ranks"`
@@ -31,6 +42,7 @@ type ScalePoint struct {
 	NsPerOp        float64 `json:"ns_per_op"`       // setup + iters ops, divided by iters
 	SetupNs        float64 `json:"setup_ns"`        // world + communicator construction
 	VirtualUs      float64 `json:"virtual_us"`      // per-op virtual makespan (determinism anchor)
+	VirtualPs      int64   `json:"virtual_ps"`      // exact total makespan (cross-engine equality)
 	PeakGoroutines int     `json:"peak_goroutines"` // sampled during the point
 	PeakRSSBytes   int64   `json:"peak_rss_bytes"`  // process high-water mark after the point
 }
@@ -43,10 +55,11 @@ type ScaleSweepReport struct {
 }
 
 // scaleShapes is the node-count ladder of the sweep at 64 ranks per
-// node: 4096, 8192, 16384 and 65536 ranks, capped by maxRanks (the CI
-// smoke job stops at the 8192 point).
+// node: 4096, 8192, 16384, 65536 and 1,048,576 ranks, capped by
+// maxRanks (the CI smoke job stops at the 8192 point; the million-rank
+// shape is event-engine-only).
 func scaleShapes(maxRanks int) [][2]int {
-	all := [][2]int{{64, 64}, {128, 64}, {256, 64}, {1024, 64}}
+	all := [][2]int{{64, 64}, {128, 64}, {256, 64}, {1024, 64}, {16384, 64}}
 	var out [][2]int
 	for _, s := range all {
 		if s[0]*s[1] <= maxRanks {
@@ -56,26 +69,66 @@ func scaleShapes(maxRanks int) [][2]int {
 	return out
 }
 
-// RunScaleSweep measures the scale dimension up to maxRanks ranks.
-func RunScaleSweep(model *sim.CostModel, maxRanks int) (*ScaleSweepReport, error) {
+// goroutineEngineMaxRanks is the largest shape the goroutine backend
+// runs in the sweep. Beyond it (the million-rank shape) a
+// goroutine-per-rank world is no longer a sensible measurement — that
+// regime is exactly what the event engine plus folding exists for.
+const goroutineEngineMaxRanks = 65536
+
+// RunScaleSweep measures the scale dimension up to maxRanks ranks on
+// each of the given execution backends (both engines when engines is
+// empty). Points that run on both backends are checked for
+// bit-identical virtual makespans before the report is returned.
+func RunScaleSweep(model *sim.CostModel, maxRanks int, engines []sim.Engine) (*ScaleSweepReport, error) {
+	if len(engines) == 0 {
+		engines = []sim.Engine{sim.EngineGoroutine, sim.EngineEvent}
+	}
 	rep := &ScaleSweepReport{Model: model.Name, MaxRanks: maxRanks}
 	for _, shape := range scaleShapes(maxRanks) {
 		for _, collName := range []string{"allgather", "allreduce"} {
-			pt, err := runScalePoint(model, collName, shape[0], shape[1])
-			if err != nil {
-				return nil, fmt.Errorf("bench: scale sweep %s %dx%d: %w", collName, shape[0], shape[1], err)
+			ref := int64(-1)
+			for _, eng := range engines {
+				if eng == sim.EngineGoroutine && shape[0]*shape[1] > goroutineEngineMaxRanks {
+					continue
+				}
+				pt, err := runScalePoint(model, collName, shape[0], shape[1], eng)
+				if err != nil {
+					return nil, fmt.Errorf("bench: scale sweep %s %dx%d (%s): %w",
+						collName, shape[0], shape[1], eng, err)
+				}
+				if ref >= 0 && pt.VirtualPs != ref {
+					return nil, fmt.Errorf(
+						"bench: scale sweep %s %dx%d: engine virtual-time mismatch: %s got %d ps, want %d ps",
+						collName, shape[0], shape[1], eng, pt.VirtualPs, ref)
+				}
+				ref = pt.VirtualPs
+				rep.Points = append(rep.Points, pt)
 			}
-			rep.Points = append(rep.Points, pt)
 		}
 	}
 	return rep, nil
 }
 
-func runScalePoint(model *sim.CostModel, collName string, nodes, ppn int) (ScalePoint, error) {
+// scaleFoldUnit resolves the rank-symmetry fold unit of a sweep
+// workload through the coll package's fold helpers (0 = run unfolded).
+// Sweep worlds carry no per-world tuning, so the runtime picks
+// algorithms under coll.DefaultTuning — the helpers must replicate
+// exactly that pick.
+func scaleFoldUnit(model *sim.CostModel, topo *sim.Topology, collName string, bytesPerRank int) int {
+	switch collName {
+	case "allgather":
+		return coll.HierAllgatherFoldUnit(model, topo, bytesPerRank, coll.DefaultTuning())
+	case "allreduce":
+		return coll.AllreduceFoldUnit(model, topo, bytesPerRank, 1, coll.DefaultTuning())
+	}
+	return 0
+}
+
+func runScalePoint(model *sim.CostModel, collName string, nodes, ppn int, engine sim.Engine) (ScalePoint, error) {
 	const bytesPerRank = 8
 	iters := 2
 	pt := ScalePoint{
-		Coll: collName, Nodes: nodes, PPN: ppn, Ranks: nodes * ppn,
+		Coll: collName, Engine: engine.String(), Nodes: nodes, PPN: ppn, Ranks: nodes * ppn,
 		Bytes: bytesPerRank, Iters: iters,
 	}
 
@@ -86,7 +139,17 @@ func runScalePoint(model *sim.CostModel, collName string, nodes, ppn int) (Scale
 	if err != nil {
 		return ScalePoint{}, err
 	}
-	w, err := mpi.NewWorld(model, topo)
+	// Folding rides the event engine only: the goroutine points stay
+	// unfolded so the sweep's cross-engine equality check pins the
+	// folded timeline against an independently computed full-width one.
+	opts := []mpi.Option{mpi.WithEngine(engine)}
+	if engine == sim.EngineEvent {
+		if u := scaleFoldUnit(model, topo, collName, bytesPerRank); u > 0 {
+			pt.FoldUnit = u
+			opts = append(opts, mpi.WithFold(u))
+		}
+	}
+	w, err := mpi.NewWorld(model, topo, opts...)
 	if err != nil {
 		return ScalePoint{}, err
 	}
@@ -141,6 +204,7 @@ func runScalePoint(model *sim.CostModel, collName string, nodes, ppn int) (Scale
 	pt.NsPerOp = float64(elapsed.Nanoseconds()) / float64(iters)
 	pt.SetupNs = float64(setup.Nanoseconds())
 	pt.VirtualUs = (virtual / sim.Time(iters)).Us()
+	pt.VirtualPs = int64(virtual)
 	pt.PeakGoroutines = sampler.peak()
 	pt.PeakRSSBytes = peakRSSBytes()
 	runtime.GC() // release the point's worlds before the next one

@@ -10,24 +10,54 @@ func TestScaleSweepSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("4096-rank sweep in -short mode")
 	}
-	rep, err := RunScaleSweep(sim.HazelHenCray(), 4096)
+	rep, err := RunScaleSweep(sim.HazelHenCray(), 4096, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Points) != 2 {
-		t.Fatalf("got %d points for maxRanks=4096, want 2 (allgather+allreduce at 64x64)", len(rep.Points))
+	if len(rep.Points) != 4 {
+		t.Fatalf("got %d points for maxRanks=4096, want 4 (allgather+allreduce at 64x64 on both engines)", len(rep.Points))
 	}
 	for _, p := range rep.Points {
 		if p.Ranks != 4096 {
-			t.Errorf("%s: %d ranks, want 4096", p.Coll, p.Ranks)
+			t.Errorf("%s/%s: %d ranks, want 4096", p.Coll, p.Engine, p.Ranks)
 		}
-		if p.NsPerOp <= 0 || p.VirtualUs <= 0 {
-			t.Errorf("%s: empty measurement (%v ns/op, %v virtual us)", p.Coll, p.NsPerOp, p.VirtualUs)
+		if p.NsPerOp <= 0 || p.VirtualUs <= 0 || p.VirtualPs <= 0 {
+			t.Errorf("%s/%s: empty measurement (%v ns/op, %v virtual us)", p.Coll, p.Engine, p.NsPerOp, p.VirtualUs)
 		}
-		// The point's world holds one goroutine per rank while it runs;
-		// the sampler must have seen them.
-		if p.PeakGoroutines < p.Ranks {
-			t.Errorf("%s: peak goroutines %d below rank count %d", p.Coll, p.PeakGoroutines, p.Ranks)
+		switch p.Engine {
+		case "goroutine":
+			// The point's world holds one goroutine per rank while it
+			// runs; the sampler must have seen them.
+			if p.PeakGoroutines < p.Ranks {
+				t.Errorf("%s/%s: peak goroutines %d below rank count %d", p.Coll, p.Engine, p.PeakGoroutines, p.Ranks)
+			}
+			if p.FoldUnit != 0 {
+				t.Errorf("%s/%s: goroutine point folded (unit %d)", p.Coll, p.Engine, p.FoldUnit)
+			}
+		case "event":
+			// Both sweep workloads are fold-symmetric on the uniform
+			// 64-ppn ladder, so the event points must run folded. (No
+			// goroutine-count bound here: the previous point's workers
+			// survive in the pool's global reserve, so the sampler sees
+			// them even though this world spawns only FoldUnit workers.)
+			if p.FoldUnit != p.PPN {
+				t.Errorf("%s/%s: fold unit %d, want %d", p.Coll, p.Engine, p.FoldUnit, p.PPN)
+			}
+		default:
+			t.Errorf("%s: unknown engine %q", p.Coll, p.Engine)
+		}
+	}
+	// RunScaleSweep itself asserts cross-engine virtual-time equality,
+	// but pin it here too so a future refactor can't drop the check.
+	byColl := map[string][]int64{}
+	for _, p := range rep.Points {
+		byColl[p.Coll] = append(byColl[p.Coll], p.VirtualPs)
+	}
+	for collName, vs := range byColl {
+		for _, v := range vs[1:] {
+			if v != vs[0] {
+				t.Errorf("%s: cross-engine virtual times differ: %v", collName, vs)
+			}
 		}
 	}
 }
@@ -40,7 +70,7 @@ func TestScaleShapesRespectCap(t *testing.T) {
 	}
 	full := scaleShapes(1 << 20)
 	last := full[len(full)-1]
-	if last[0]*last[1] < 65536 {
-		t.Errorf("full ladder tops out at %d ranks, want >= 65536", last[0]*last[1])
+	if last[0]*last[1] != 1<<20 {
+		t.Errorf("full ladder tops out at %d ranks, want 1048576", last[0]*last[1])
 	}
 }

@@ -134,6 +134,20 @@ type entry struct {
 
 	run        any // full runner (signature per family), nil if in-place only
 	runInPlace any // in-place runner, nil when unavailable
+
+	// foldable marks algorithms proven safe under the mpi package's
+	// rank-symmetry folding (mpi.WithFold) when the communicator size
+	// and the fold unit are both powers of two: every rank executes the
+	// same step sequence with rank-translation-consistent partners
+	// (r -> r±s mod n, or r -> r^mask with power-of-two operands), and
+	// each step keeps at most one crossed send outstanding (the
+	// Sendrecv discipline), so FIFO matching pairs equivalence classes
+	// correctly. Algorithms with rank-dependent schedules (binomial
+	// trees rooted at one rank, Bruck's truncated last step paired with
+	// rotation copies, the parity-split neighbor exchange,
+	// Rabenseifner's halving buffers) stay unmarked even where a deeper
+	// analysis might admit them. See internal/mpi/fold.go.
+	foldable bool
 }
 
 // Cost-term helpers. The estimates intentionally mirror the textbook
@@ -175,6 +189,7 @@ var registry = [numCollectives][]entry{
 			},
 			run:        allgatherFn(AllgatherRecDbl),
 			runInPlace: allgatherInPlaceFn(allgatherRecDblInPlace),
+			foldable:   true,
 		},
 		{
 			name: "bruck",
@@ -192,6 +207,7 @@ var registry = [numCollectives][]entry{
 			},
 			run:        allgatherFn(AllgatherRing),
 			runInPlace: allgatherInPlaceFn(allgatherRingInPlace),
+			foldable:   true,
 		},
 		{
 			name:    "neighbor",
@@ -232,7 +248,8 @@ var registry = [numCollectives][]entry{
 				steps := sim.Log2Ceil(e.Size)
 				return timesT(steps, alphaT(e)+betaT(e, e.Bytes)) + gammaT(e, e.Count*steps)
 			},
-			run: allreduceFn(AllreduceRecDbl),
+			run:      allreduceFn(AllreduceRecDbl),
+			foldable: true,
 		},
 		{
 			name: "rabenseifner",
@@ -307,7 +324,8 @@ var registry = [numCollectives][]entry{
 				}
 				return timesT(rounds, alphaT(e))
 			},
-			run: barrierFn(func(c *mpi.Comm) error { return c.Barrier() }),
+			run:      barrierFn(func(c *mpi.Comm) error { return c.Barrier() }),
+			foldable: true,
 		},
 		{
 			name: "central",
@@ -323,7 +341,8 @@ var registry = [numCollectives][]entry{
 			cost: func(e Env) sim.Time {
 				return timesT(e.Size-1, alphaT(e)+betaT(e, e.Bytes))
 			},
-			run: alltoallFn(AlltoallPairwise),
+			run:      alltoallFn(AlltoallPairwise),
+			foldable: true,
 		},
 	},
 	CollGather: {
@@ -528,6 +547,16 @@ func pick(cl Collective, e Env, tun Tuning, inPlace bool) (*entry, error) {
 
 // Registered reports whether an algorithm name exists for a collective.
 func Registered(cl Collective, name string) bool { return findEntry(cl, name) != nil }
+
+// FoldSafe reports whether a registered algorithm carries the
+// rank-symmetry metadata: it is known to execute a
+// translation-class-consistent schedule (safe under mpi.WithFold) when
+// the communicator size and the fold unit are both powers of two.
+// Unknown names report false.
+func FoldSafe(cl Collective, name string) bool {
+	en := findEntry(cl, name)
+	return en != nil && en.foldable
+}
 
 // Algorithms returns the registered algorithm names of a collective in
 // registration order.

@@ -44,6 +44,7 @@ type Comm struct {
 
 	oneNode int8 // cached single-node test: 0 unknown, 1 yes, -1 no
 	hopCl   int8 // cached comm-wide hop class: 0 unknown, else class+1
+	foldSz  int  // cached folded member count: 0 unknown (see foldSize)
 }
 
 // CommWorld returns this rank's handle on MPI_COMM_WORLD. The handle is
@@ -86,9 +87,25 @@ func (c *Comm) nextSeq() int {
 // the building block for communicator and window construction — the
 // "one-off" operations whose cost the paper explicitly excludes from
 // measurements (Sect. 4.1).
+//
+// Under rank-symmetry folding an exchange can only complete when every
+// member executes, so communicators spanning ranks outside the fold
+// unit refuse loudly (ErrFoldUnsafe, recovered as the rank's error)
+// instead of deadlocking: generic Split, Setup/SharePlan and window
+// construction on such communicators are inherently unfoldable.
+// Communicators wholly inside the unit — node and tier communicators
+// of the hierarchical collectives — exchange normally.
 func (c *Comm) exchange(val any) []any {
+	w := c.p.world
+	if u := w.foldUnit; u > 0 {
+		for _, g := range c.ranks {
+			if g >= u {
+				panic(fmt.Errorf("%w: exchange on a communicator spanning rank %d (fold unit %d)", ErrFoldUnsafe, g, u))
+			}
+		}
+	}
 	key := coordKey{ctx: c.ctx, seq: c.nextSeq()}
-	return c.p.world.coord.exchange(key, c.rank, len(c.ranks), val, c.p.world.abortCh)
+	return w.coord.exchange(key, c.p, c.rank, len(c.ranks), val)
 }
 
 // Setup performs an untimed allgather of one value per member. It
@@ -131,20 +148,50 @@ func SharePlan[T any](c *Comm, val any, build func(vals []any) *T) (*T, error) {
 // order. The timed cost of the modeled synchronization is charged by
 // the caller.
 func (c *Comm) FuseClocks(t sim.Time) sim.Time {
+	w := c.p.world
 	n := len(c.ranks)
+	folded := w.foldUnit > 0
+	if folded {
+		// Only the class representatives execute, and every replica's
+		// clock is (by construction) its representative's, so the max
+		// over the representative members equals the max over all
+		// members. The fuser just has to count representatives.
+		n = c.foldSize()
+	}
 	if n == 1 {
 		return t
 	}
-	if n < clockTreeMin {
+	if folded || w.evLive || n < clockTreeMin {
+		// The channel tree cannot serve folded comms (missing members
+		// would strand its edges) nor the event engine (its mid-tree
+		// parks are plain channel receives the scheduler cannot see),
+		// so both use the counter cell, which parks through the
+		// scheduler in event mode.
 		if c.cfuser == nil {
-			c.cfuser = c.p.world.coord.clockFuser(c.ctx)
+			c.cfuser = w.coord.clockFuser(c.ctx)
 		}
-		return c.cfuser.fuse(n, t)
+		return c.cfuser.fuse(c.p, n, t)
 	}
 	if c.ctree == nil {
-		c.ctree = c.p.world.coord.clockTree(c.ctx, n)
+		c.ctree = w.coord.clockTree(c.ctx, n)
 	}
-	return c.ctree.fuse(c.rank, t, c.p.world.abortCh)
+	return c.ctree.fuse(c.rank, t, w.abortCh)
+}
+
+// foldSize counts the communicator members that execute under folding
+// (global rank below the fold unit), cached on the handle.
+func (c *Comm) foldSize() int {
+	if c.foldSz == 0 {
+		u := c.p.world.foldUnit
+		k := 0
+		for _, g := range c.ranks {
+			if g < u {
+				k++
+			}
+		}
+		c.foldSz = k
+	}
+	return c.foldSz
 }
 
 type splitEntry struct {

@@ -31,6 +31,7 @@ type coordSession struct {
 	remaining int
 	released  int
 	done      chan struct{} // created lazily by the first waiter's arrival
+	waiters   []int         // event-engine parked ranks, woken by the completer
 }
 
 // coordSessionPool recycles session records. Only the record is pooled:
@@ -77,7 +78,14 @@ func (co *coordinator) shard(key coordKey) *coordShard {
 // the maps never accumulate completed sessions. If the job aborts while
 // waiting, exchange panics with ErrAborted; the panic is recovered by
 // World.Run and reported as the rank's error.
-func (co *coordinator) exchange(key coordKey, rank, size int, val any, abort <-chan struct{}) []any {
+//
+// In event mode (p.world.evLive) a waiting member cannot block on the
+// done channel — that would stall the single-threaded scheduler — so
+// it registers itself on the session's waiter list and parks; the
+// completing member wakes the list. Wakes can be spurious (any record
+// completion readies the rank), hence the re-check loop.
+func (co *coordinator) exchange(key coordKey, p *Proc, rank, size int, val any) []any {
+	w := p.world
 	sh := co.shard(key)
 	sh.mu.Lock()
 	s := sh.sessions[key]
@@ -96,6 +104,10 @@ func (co *coordinator) exchange(key coordKey, rank, size int, val any, abort <-c
 		if s.done != nil {
 			close(s.done)
 		}
+		for _, wr := range s.waiters {
+			w.ev.wake(wr)
+		}
+		s.waiters = s.waiters[:0]
 	} else if s.done == nil {
 		s.done = make(chan struct{})
 	}
@@ -107,13 +119,25 @@ func (co *coordinator) exchange(key coordKey, rank, size int, val any, abort <-c
 	// contribution; everyone else waits for the close (non-blocking
 	// attempt first — late arrivals find it already closed).
 	if !complete {
-		select {
-		case <-done:
-		default:
+		if w.evLive {
+			for !chanClosed(done) {
+				if w.Aborted() {
+					panic(ErrAborted)
+				}
+				sh.mu.Lock()
+				s.waiters = append(s.waiters, p.rank)
+				sh.mu.Unlock()
+				w.ev.park(p.rank)
+			}
+		} else {
 			select {
 			case <-done:
-			case <-abort:
-				panic(ErrAborted)
+			default:
+				select {
+				case <-done:
+				case <-w.abortCh:
+					panic(ErrAborted)
+				}
 			}
 		}
 	}
@@ -123,10 +147,22 @@ func (co *coordinator) exchange(key coordKey, rank, size int, val any, abort <-c
 	if s.released == size {
 		delete(sh.sessions, key)
 		s.vals = nil
+		s.waiters = s.waiters[:0]
 		coordSessionPool.Put(s)
 	}
 	sh.mu.Unlock()
 	return vals
+}
+
+// chanClosed reports (without blocking) whether a signal channel is
+// closed. Only valid for channels that are never sent to.
+func chanClosed(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 // FuseClocks runs on one of two per-context fusion engines, both of
@@ -153,6 +189,7 @@ type fuseRound struct {
 	released  int
 	aborted   bool
 	done      chan struct{}
+	waiters   []int // event-engine parked ranks (see exchange)
 }
 
 var fuseRoundPool = sync.Pool{New: func() any { return new(fuseRound) }}
@@ -171,7 +208,8 @@ type clockFuser struct {
 	cur     *fuseRound
 }
 
-func (f *clockFuser) fuse(size int, clk sim.Time) sim.Time {
+func (f *clockFuser) fuse(p *Proc, size int, clk sim.Time) sim.Time {
+	w := p.world
 	f.mu.Lock()
 	if f.aborted {
 		f.mu.Unlock()
@@ -196,6 +234,10 @@ func (f *clockFuser) fuse(size int, clk sim.Time) sim.Time {
 		if r.done != nil {
 			close(r.done)
 		}
+		for _, wr := range r.waiters {
+			w.ev.wake(wr)
+		}
+		r.waiters = r.waiters[:0]
 	} else if r.done == nil {
 		r.done = make(chan struct{})
 	}
@@ -203,7 +245,20 @@ func (f *clockFuser) fuse(size int, clk sim.Time) sim.Time {
 	f.mu.Unlock()
 
 	if !last {
-		<-done
+		if w.evLive {
+			// Event mode: park on the scheduler instead of the channel;
+			// the round's last arriver (or the abort poison, via the
+			// scheduler's abort path) wakes us. Re-check after every
+			// wake — wakes can be spurious.
+			for !chanClosed(done) {
+				f.mu.Lock()
+				r.waiters = append(r.waiters, p.rank)
+				f.mu.Unlock()
+				w.ev.park(p.rank)
+			}
+		} else {
+			<-done
+		}
 		if r.aborted {
 			panic(ErrAborted)
 		}
@@ -213,6 +268,7 @@ func (f *clockFuser) fuse(size int, clk sim.Time) sim.Time {
 	r.released++
 	if r.released == size {
 		r.done = nil
+		r.waiters = r.waiters[:0]
 		fuseRoundPool.Put(r)
 	}
 	f.mu.Unlock()

@@ -40,6 +40,7 @@ type message struct {
 type recvReq struct {
 	src, tag  int // comm-rank source filter (or wildcards)
 	srcGlobal int // resolved global source, or AnySource
+	dst       int // posting rank (event-engine wake routing)
 	buf       Buf
 	postClock sim.Time
 	result    chan recvResult
@@ -124,6 +125,7 @@ const abortClock = sim.Time(math.MinInt64)
 // destination rank so that large jobs do not serialize on one lock.
 type matcher struct {
 	shards  []matchShard
+	fold    int // rank-symmetry fold unit, 0 when unfolded (fold.go)
 	aborted atomic.Bool
 
 	// Queue arena: rank queues for all shards are cut from shared
@@ -211,6 +213,12 @@ type rankQueue struct {
 func newMatcher() *matcher { return &matcher{} }
 
 func (m *matcher) shard(dst int) *matchShard {
+	// Folded worlds route messages for a replica rank to its class
+	// representative: the representative posts the translated receive
+	// (see fold.go).
+	if m.fold > 0 && dst >= m.fold {
+		dst %= m.fold
+	}
 	return &m.shards[dst]
 }
 
@@ -252,6 +260,26 @@ func (r *recvReq) matches(m *message) bool {
 	return r.tag == AnyTag || r.tag == m.tag
 }
 
+// accepts is the matching rule, folded-mode aware. Under folding only
+// class representatives post, so a receive expecting source s pairs
+// with the representative message standing for s's class: same
+// crossedness (both sides inside the fold unit, or both across it) and
+// s's class equals the message's source (representatives always send
+// from ranks < u, so s%u == m.src is the uniform check for both the
+// in-unit exact match and the crossed class match). The translated
+// receive a representative posts for an incoming crossed message is
+// exactly the one whose expected source lies in the sender
+// representative's class, so costs and clocks line up — see fold.go.
+func (m *matcher) accepts(r *recvReq, msg *message) bool {
+	if u := m.fold; u > 0 && r.srcGlobal != AnySource {
+		if (msg.dst >= u) != (r.srcGlobal >= u) || r.srcGlobal%u != msg.src {
+			return false
+		}
+		return r.tag == AnyTag || r.tag == msg.tag
+	}
+	return r.matches(msg)
+}
+
 // postSend enqueues a send or pairs it with a waiting receive. It
 // returns the matched receive (nil if queued), or ErrAborted on a
 // poisoned matcher: the abort flag is checked under the shard lock, so
@@ -266,7 +294,7 @@ func (m *matcher) postSend(ctx int, msg *message) (*recvReq, error) {
 	}
 	q := s.queue(m, ctx)
 	for i := q.recvs.head; i < len(q.recvs.items); i++ {
-		if r := q.recvs.items[i]; r.matches(msg) {
+		if r := q.recvs.items[i]; m.accepts(r, msg) {
 			q.recvs.remove(i)
 			return r, nil
 		}
@@ -287,7 +315,7 @@ func (m *matcher) postRecv(ctx, dst int, r *recvReq) (*message, error) {
 	}
 	q := s.queue(m, ctx)
 	for i := q.sends.head; i < len(q.sends.items); i++ {
-		if msg := q.sends.items[i]; r.matches(msg) {
+		if msg := q.sends.items[i]; m.accepts(r, msg) {
 			q.sends.remove(i)
 			return msg, nil
 		}
@@ -343,6 +371,9 @@ func (w *World) complete(m *message, r *recvReq) {
 			source: m.commSrc,
 			tag:    m.tag,
 		}
+		if w.evLive {
+			w.ev.wake(r.dst)
+		}
 		putMessage(m)
 		return
 	}
@@ -374,8 +405,31 @@ func (w *World) complete(m *message, r *recvReq) {
 		putMessage(m)
 	} else {
 		m.done <- sendDone
+		if w.evLive {
+			w.ev.wake(m.src)
+		}
 	}
 	r.result <- res
+	if w.evLive {
+		w.ev.wake(r.dst)
+	}
+}
+
+// pendingRecords counts the unmatched sends and receives queued across
+// all shards — the folded-run tripwire (fold.go) and a test hook. Only
+// meaningful between Runs.
+func (m *matcher) pendingRecords() int {
+	total := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for _, cq := range s.queues {
+			total += len(cq.q.sends.items) - cq.q.sends.head
+			total += len(cq.q.recvs.items) - cq.q.recvs.head
+		}
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // SendFlag signals a same-node peer through a shared-memory flag: one

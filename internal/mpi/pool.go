@@ -185,9 +185,21 @@ func (j rankJob) run() {
 	}
 }
 
-// setPoolFinalizer installs the leak backstop once the pool has
-// workers: a World dropped without Close still releases its parked
-// goroutines on the next GC cycle.
-func setPoolFinalizer(w *World) {
-	runtime.SetFinalizer(w, func(w *World) { w.pool.release() })
+// setWorldFinalizer installs the leak backstop once either engine has
+// goroutines: a World dropped without Close still releases its parked
+// pool workers and event-scheduler continuations on the next GC cycle.
+// The guard matters when both engines start on one world (an engine
+// switch between Runs): runtime.SetFinalizer throws on a second
+// install. Runs never overlap, so the flag needs no lock.
+func setWorldFinalizer(w *World) {
+	if w.finalizerSet {
+		return
+	}
+	w.finalizerSet = true
+	runtime.SetFinalizer(w, func(w *World) {
+		w.pool.release()
+		if w.ev != nil {
+			w.ev.release()
+		}
+	})
 }

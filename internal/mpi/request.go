@@ -98,6 +98,7 @@ func (c *Comm) postRecvReqAt(buf Buf, src, tag int, at sim.Time, kind string) (*
 		src:       src,
 		tag:       tag,
 		srcGlobal: srcGlobal,
+		dst:       c.p.rank,
 		buf:       buf,
 		postClock: at,
 		result:    rr.result,
@@ -127,7 +128,12 @@ func (c *Comm) postRecvReq(buf Buf, src, tag int) (*recvReq, error) {
 // delivers the abortClock sentinel through the same channel (p2p.go),
 // which keeps the hottest park path free of the select machinery.
 func (p *Proc) waitSendMsg(m *message) error {
-	at := <-m.done
+	var at sim.Time
+	if w := p.world; w.evLive {
+		at = evAwait(w.ev, p.rank, m.done)
+	} else {
+		at = <-m.done
+	}
 	if at == abortClock {
 		putMessage(m)
 		return ErrAborted
@@ -143,7 +149,12 @@ func (p *Proc) waitSendMsg(m *message) error {
 // sitting in the buffered channel and the receive doesn't even park;
 // abort is delivered as the abortClock poison, like waitSendMsg.
 func (p *Proc) waitRecvReq(rr *recvReq) (Status, error) {
-	res := <-rr.result
+	var res recvResult
+	if w := p.world; w.evLive {
+		res = evAwait(w.ev, p.rank, rr.result)
+	} else {
+		res = <-rr.result
+	}
 	if res.at == abortClock {
 		putRecvReq(rr)
 		return Status{}, ErrAborted
@@ -251,6 +262,11 @@ func (r *Request) Test() (bool, Status, error) {
 		case <-r.p.world.abortCh:
 			return false, Status{}, ErrAborted
 		default:
+			// On the single-threaded event engine a Test loop must hand
+			// control off or no other rank can ever make progress.
+			if w := r.p.world; w.evLive {
+				w.ev.yield(r.p.rank)
+			}
 			return false, Status{}, nil
 		}
 	}
@@ -270,6 +286,9 @@ func (r *Request) Test() (bool, Status, error) {
 	case <-r.p.world.abortCh:
 		return false, Status{}, ErrAborted
 	default:
+		if w := r.p.world; w.evLive {
+			w.ev.yield(r.p.rank)
+		}
 		return false, Status{}, nil
 	}
 }

@@ -178,38 +178,52 @@ func (s *Sched) finishRound() {
 }
 
 // drain blocks until every outstanding operation of the current round
-// has completed.
+// has completed. In event mode the park goes through the scheduler
+// (evAwait always yields a value: real completion or the poison
+// sentinel); in goroutine mode it is the two-way select against the
+// abort channel.
 func (s *Sched) drain() error {
 	w := s.c.p.world
+	rank := s.c.p.rank
 	for i := range s.pend {
 		p := &s.pend[i]
 		if p.done {
 			continue
 		}
 		if p.msg != nil {
-			select {
-			case at := <-p.msg.done:
-				putMessage(p.msg)
-				if at == abortClock {
-					p.msg = nil
+			var at sim.Time
+			if w.evLive {
+				at = evAwait(w.ev, rank, p.msg.done)
+			} else {
+				select {
+				case at = <-p.msg.done:
+				case <-w.abortCh:
 					return ErrAborted
 				}
-				p.msg, p.done, p.at = nil, true, at
-			case <-w.abortCh:
+			}
+			putMessage(p.msg)
+			if at == abortClock {
+				p.msg = nil
 				return ErrAborted
 			}
+			p.msg, p.done, p.at = nil, true, at
 		} else {
-			select {
-			case res := <-p.rr.result:
-				putRecvReq(p.rr)
-				if res.at == abortClock {
-					p.rr = nil
+			var res recvResult
+			if w.evLive {
+				res = evAwait(w.ev, rank, p.rr.result)
+			} else {
+				select {
+				case res = <-p.rr.result:
+				case <-w.abortCh:
 					return ErrAborted
 				}
-				p.rr, p.done, p.at = nil, true, res.at
-			case <-w.abortCh:
+			}
+			putRecvReq(p.rr)
+			if res.at == abortClock {
+				p.rr = nil
 				return ErrAborted
 			}
+			p.rr, p.done, p.at = nil, true, res.at
 		}
 	}
 	return nil
@@ -250,8 +264,15 @@ func (s *Sched) poll() (bool, error) {
 			}
 		}
 	}
-	if !all && s.c.p.world.Aborted() {
-		return false, ErrAborted
+	if !all {
+		if w := s.c.p.world; w.evLive {
+			// Hand control off so the peers this round is waiting on
+			// can run (see Request.Test).
+			w.ev.yield(s.c.p.rank)
+		}
+		if s.c.p.world.Aborted() {
+			return false, ErrAborted
+		}
 	}
 	return all, nil
 }

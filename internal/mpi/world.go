@@ -34,13 +34,28 @@ type World struct {
 	identity []int // comm rank == global rank table for COMM_WORLD
 	procs    []*Proc
 
-	// Execution engine: the persistent rank pool, the reusable per-Run
-	// dispatch record, and the Run gate that enforces the
-	// one-Run-at-a-time / no-clock-reads-during-Run contract.
-	pool    *rankPool
-	run     runState
-	running atomic.Bool
-	closed  atomic.Bool
+	// Execution engine: the persistent rank pool (goroutine backend),
+	// the event scheduler (event backend, lazily created), the reusable
+	// per-Run dispatch record, and the Run gate that enforces the
+	// one-Run-at-a-time / no-clock-reads-during-Run contract. evLive is
+	// set only while an event-engine Run is in flight; the park sites
+	// (request.go, sched.go, coord.go) branch on it.
+	engine       sim.Engine
+	ev           *evSched
+	evLive       bool
+	pool         *rankPool
+	run          runState
+	running      atomic.Bool
+	closed       atomic.Bool
+	finalizerSet bool // leak-backstop finalizer installed (see pool.go)
+
+	// Rank-symmetry folding (fold.go): with foldUnit u > 0 only ranks
+	// 0..u-1 execute; every rank r aliases the Proc of its class
+	// representative r%u, so replica clocks are literally the
+	// representative's. execN is the number of executing ranks (u when
+	// folded, Size() otherwise).
+	foldUnit int
+	execN    int
 
 	// setupSlots holds the SetupOnce slots: one once-guarded record per
 	// (communicator context, coordination sequence) collective setup
@@ -104,6 +119,28 @@ func WithTracer(t *sim.Tracer) Option { return func(w *World) { w.tracer = t } }
 // to the hybrid and collective layers.
 func WithCollConfig(v any) Option { return func(w *World) { w.collCfg = v } }
 
+// WithEngine selects the execution backend for this world, overriding
+// the package default (see SetDefaultEngine).
+func WithEngine(e sim.Engine) Option { return func(w *World) { w.engine = e } }
+
+// WithFold enables rank-symmetry folding with the given fold unit (see
+// fold.go for the contract). NewWorld validates the unit against the
+// topology.
+func WithFold(unit int) Option { return func(w *World) { w.foldUnit = unit } }
+
+// defaultEngine holds the package-wide backend worlds are created with
+// when no WithEngine option is given. Harnesses that construct worlds
+// deep inside benchmark closures (internal/bench) switch engines
+// through it without threading an option through every layer.
+var defaultEngine atomic.Int32
+
+// SetDefaultEngine sets the execution backend NewWorld uses when no
+// WithEngine option is given. The process default is EngineGoroutine.
+func SetDefaultEngine(e sim.Engine) { defaultEngine.Store(int32(e)) }
+
+// DefaultEngine returns the current package-wide default backend.
+func DefaultEngine() sim.Engine { return sim.Engine(defaultEngine.Load()) }
+
 // NewWorld creates a simulated MPI job on the given topology and machine
 // model.
 func NewWorld(model *sim.CostModel, topo *sim.Topology, opts ...Option) (*World, error) {
@@ -116,24 +153,48 @@ func NewWorld(model *sim.CostModel, topo *sim.Topology, opts ...Option) (*World,
 	w := &World{
 		topo:    topo,
 		model:   model,
+		engine:  DefaultEngine(),
 		match:   newMatcher(),
 		coord:   newCoordinator(),
-		pool:    newRankPool(topo.Size()),
 		abortCh: make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(w)
 	}
-	w.match.sizeTo(topo.Size())
+	if err := w.validateFold(); err != nil {
+		return nil, err
+	}
+	w.execN = topo.Size()
+	if w.foldUnit > 0 {
+		w.execN = w.foldUnit
+	}
+	w.pool = newRankPool(w.execN)
+	w.match.fold = w.foldUnit
+	w.match.sizeTo(w.execN)
 	w.identity = make([]int, topo.Size())
 	w.procs = make([]*Proc, topo.Size())
-	store := make([]Proc, topo.Size()) // one allocation, not one per rank
+	store := make([]Proc, w.execN) // one allocation, not one per rank
+	for i := range store {
+		store[i] = Proc{world: w, rank: i}
+	}
 	for r := range w.procs {
 		w.identity[r] = r
-		store[r] = Proc{world: w, rank: r}
-		w.procs[r] = &store[r]
+		w.procs[r] = &store[r%w.execN]
 	}
 	return w, nil
+}
+
+// Engine returns the execution backend currently selected for Runs.
+func (w *World) Engine() sim.Engine { return w.engine }
+
+// SetEngine switches the execution backend for subsequent Runs. Both
+// backends may be used on the same World interchangeably (each is
+// created lazily and kept until Close); virtual clocks are
+// bit-identical either way. Must not be called while a Run is in
+// flight.
+func (w *World) SetEngine(e sim.Engine) {
+	w.assertNotRunning("SetEngine")
+	w.engine = e
 }
 
 // Topology returns the node layout.
@@ -196,24 +257,40 @@ func (w *World) Run(body func(p *Proc) error) error {
 	}
 	defer w.running.Store(false)
 
-	if !w.pool.started {
-		w.pool.start()
-		setPoolFinalizer(w)
-	}
 	st := &w.run
 	st.body = body
 	if st.errs == nil {
-		st.errs = make([]error, w.Size())
+		st.errs = make([]error, w.execN)
 	} else {
 		clear(st.errs)
 	}
-	st.wg.Add(w.Size())
-	for r := 0; r < w.Size(); r++ {
-		w.pool.dispatch(rankJob{p: w.procs[r], st: st})
+	if w.engine == sim.EngineEvent {
+		if w.ev == nil {
+			w.ev = newEvSched(w, w.execN)
+			setWorldFinalizer(w)
+		}
+		w.evLive = true
+		w.ev.begin(st)
+		w.ev.dispatchNext()
+		<-w.ev.ctrl
+		w.evLive = false
+	} else {
+		if !w.pool.started {
+			w.pool.start()
+			setWorldFinalizer(w)
+		}
+		st.wg.Add(w.execN)
+		for r := 0; r < w.execN; r++ {
+			w.pool.dispatch(rankJob{p: w.procs[r], st: st})
+		}
+		st.wg.Wait()
 	}
-	st.wg.Wait()
 	st.body = nil
-	return errors.Join(st.errs...)
+	err := errors.Join(st.errs...)
+	if w.foldUnit > 0 {
+		err = w.finishFoldedRun(err)
+	}
+	return err
 }
 
 // recoveredRankError converts a recovered rank panic into the rank's
@@ -221,8 +298,17 @@ func (w *World) Run(body func(p *Proc) error) error {
 // ErrAborted; those are reported cleanly rather than as crashes. Any
 // other panic aborts the job.
 func recoveredRankError(p *Proc, rec any) error {
-	if e, ok := rec.(error); ok && errors.Is(e, ErrAborted) {
-		return &RankError{Rank: p.rank, Err: e}
+	if e, ok := rec.(error); ok {
+		if errors.Is(e, ErrAborted) {
+			return &RankError{Rank: p.rank, Err: e}
+		}
+		if errors.Is(e, ErrFoldUnsafe) {
+			// A fold-unsafe operation is symmetric: every executing
+			// rank hits the same guard. Abort so any rank already
+			// parked in the offending collective wakes up.
+			p.world.Abort()
+			return &RankError{Rank: p.rank, Err: e}
+		}
 	}
 	p.world.Abort()
 	return &RankError{
@@ -244,6 +330,9 @@ func (w *World) Close() {
 	}
 	if w.closed.CompareAndSwap(false, true) {
 		w.pool.shutdown()
+		if w.ev != nil {
+			w.ev.shutdown()
+		}
 		if !w.Aborted() {
 			// All fusions completed, so the trees' channels are empty
 			// and the trees can serve the next same-shape world.

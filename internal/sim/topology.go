@@ -442,6 +442,28 @@ func (t *Topology) Hop(a, b int) HopClass {
 	return HopNet
 }
 
+// FoldUnit returns the rank-translation period of a homogeneous
+// topology: the smallest u such that shifting every rank by u maps the
+// hierarchy onto itself — the number of ranks per outermost-level
+// group. Rank-symmetry folding (internal/mpi) uses it to collapse a
+// translational workload to one representative per residue class
+// mod u. It returns 0 when any level's groups differ in size (the
+// irregularly-populated case, where no translation symmetry exists and
+// folding must stay off). Nesting uniformity follows: uniform group
+// sizes at every level of a validated nested hierarchy imply a uniform
+// child count per group.
+func (t *Topology) FoldUnit() int {
+	for i := range t.levels {
+		sizes := t.levels[i].sizes
+		for _, sz := range sizes[1:] {
+			if sz != sizes[0] {
+				return 0
+			}
+		}
+	}
+	return t.levels[len(t.levels)-1].sizes[0]
+}
+
 // MaxNodeSize returns the largest per-node rank count.
 func (t *Topology) MaxNodeSize() int {
 	max := 0
