@@ -12,6 +12,9 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	// Blank import: installs the REPRO_COLL_TUNING environment
+	// compatibility shim (the tuning grammar lives in internal/spec).
+	_ "repro/internal/spec"
 )
 
 func main() {

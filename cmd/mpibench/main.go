@@ -20,6 +20,9 @@ import (
 	"repro/internal/hybrid"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	// Blank import: installs the REPRO_COLL_TUNING environment
+	// compatibility shim (the tuning grammar lives in internal/spec).
+	_ "repro/internal/spec"
 )
 
 func main() {

@@ -8,6 +8,17 @@
 //	go run ./cmd/perf -check -baseline BENCH_PR1.json [-case regexp]
 //	go run ./cmd/perf -sweep coll,topo,scale [-tuning policy=cost,...] -out BENCH_PR4.json
 //	go run ./cmd/perf -sweep scale -scalemax 8192 [-cpuprofile cpu.pprof]
+//	go run ./cmd/perf -spec query.json
+//	go run ./cmd/perf -collective allgather -shape 64x24 -sizes 64,4096
+//
+// The last two forms are query mode: instead of benchmarking the
+// simulator, perf executes one declarative spec.Query — from a JSON
+// file (-spec) or assembled from flags (-collective, -shape, -sizes,
+// -iters, -fold plus the shared -machine, -engine, -tuning) — and
+// prints the spec.Result as JSON. The same Query posted to cmd/serverd
+// returns a bit-identical result; with -engine both, query mode runs
+// both execution backends and fails unless their virtual times agree
+// exactly.
 //
 // With -baseline, the old report's numbers are embedded alongside the
 // new ones and per-case ns/op speedups are computed. With -check, the
@@ -33,17 +44,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"regexp"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"repro/internal/bench"
-	"repro/internal/coll"
 	"repro/internal/sim"
+	"repro/internal/spec"
 )
 
 func main() {
@@ -62,7 +75,21 @@ func main() {
 	machine := flag.String("machine", "hazelhen-cray", "machine profile for the sweep")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
+	specPath := flag.String("spec", "", "query mode: run the spec.Query in this JSON file")
+	collective := flag.String("collective", "", "query mode: collective to simulate (enables query mode)")
+	shape := flag.String("shape", "4x8", "query mode: topology as NODESxPPN")
+	sizesSpec := flag.String("sizes", "1024", "query mode: comma-separated size ladder in bytes")
+	iters := flag.Int("iters", 1, "query mode: operations per ladder point")
+	fold := flag.String("fold", "", "query mode: rank-symmetry folding: auto, off or a unit")
 	flag.Parse()
+
+	if *specPath != "" || *collective != "" {
+		if err := runQueryMode(*specPath, *collective, *shape, *sizesSpec,
+			*machine, *engineSpec, *tuningSpec, *fold, *iters, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	dims, err := parseSweep(*sweep)
 	if err != nil {
@@ -111,7 +138,11 @@ func main() {
 	}
 
 	if len(dims) > 0 {
-		tun, err := coll.ParseTuning(*tuningSpec)
+		st, err := spec.ParseTuning(*tuningSpec)
+		if err != nil {
+			fatal(err)
+		}
+		tun, err := st.Coll()
 		if err != nil {
 			fatal(err)
 		}
@@ -144,6 +175,12 @@ func main() {
 				fatal(err)
 			}
 			printStencilSweep(rep.StencilSweep)
+		}
+		if dims["service"] {
+			if rep.ServiceSweep, err = bench.RunServiceSweep(*machine, 0); err != nil {
+				fatal(err)
+			}
+			printServiceSweep(rep.ServiceSweep)
 		}
 	}
 
@@ -179,6 +216,128 @@ func main() {
 	}
 }
 
+// runQueryMode executes one declarative spec.Query — loaded from
+// specPath, or assembled from the query-mode flags — and prints the
+// spec.Result as indented JSON (to out when given, stdout otherwise).
+// A flag-built query with engine "both" runs on both backends and
+// fails unless every point's virtual time is bit-identical.
+func runQueryMode(specPath, collective, shape, sizesSpec, machine, engineSpec, tuningSpec, fold string, iters int, out string) error {
+	var q *spec.Query
+	if specPath != "" {
+		if collective != "" {
+			return fmt.Errorf("-spec and -collective are mutually exclusive")
+		}
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return err
+		}
+		if q, err = spec.Parse(data); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if q, err = queryFromFlags(collective, shape, sizesSpec, machine, engineSpec, tuningSpec, fold, iters); err != nil {
+			return err
+		}
+		if engineSpec == "both" {
+			// Cross-engine check: the event backend must reproduce the
+			// goroutine backend's virtual times exactly.
+			alt := *q
+			alt.Sizes = append([]int(nil), q.Sizes...)
+			alt.Engine = sim.EngineEvent.String()
+			q.Engine = sim.EngineGoroutine.String()
+			res, altRes, err := runBoth(q, &alt)
+			if err != nil {
+				return err
+			}
+			for i := range res.Points {
+				if res.Points[i].VirtualPs != altRes.Points[i].VirtualPs {
+					return fmt.Errorf("engines disagree at %d B: goroutine %d ps, event %d ps",
+						res.Points[i].Bytes, res.Points[i].VirtualPs, altRes.Points[i].VirtualPs)
+				}
+			}
+			fmt.Fprintln(os.Stderr, "engines agree bit-identically")
+			return printResult(res, out)
+		}
+	}
+	res, err := spec.Run(q)
+	if err != nil {
+		return err
+	}
+	return printResult(res, out)
+}
+
+// runBoth executes the two engine variants of one query.
+func runBoth(a, b *spec.Query) (*spec.Result, *spec.Result, error) {
+	ra, err := spec.Run(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	rb, err := spec.Run(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ra, rb, nil
+}
+
+// queryFromFlags assembles a Query from the query-mode flag surface.
+func queryFromFlags(collective, shape, sizesSpec, machine, engineSpec, tuningSpec, fold string, iters int) (*spec.Query, error) {
+	nodes, ppn, ok := strings.Cut(shape, "x")
+	if !ok {
+		return nil, fmt.Errorf("-shape %q is not NODESxPPN", shape)
+	}
+	n, err := strconv.Atoi(nodes)
+	if err != nil {
+		return nil, fmt.Errorf("-shape: %w", err)
+	}
+	p, err := strconv.Atoi(ppn)
+	if err != nil {
+		return nil, fmt.Errorf("-shape: %w", err)
+	}
+	var sizes []int
+	for _, s := range strings.Split(sizesSpec, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("-sizes: %w", err)
+		}
+		sizes = append(sizes, b)
+	}
+	tun, err := spec.ParseTuning(tuningSpec)
+	if err != nil {
+		return nil, err
+	}
+	q := &spec.Query{
+		Machine:    machine,
+		Topology:   spec.Topology{Nodes: n, PPN: p},
+		Collective: collective,
+		Sizes:      sizes,
+		Iters:      iters,
+		Fold:       fold,
+		Tuning:     tun,
+	}
+	if engineSpec != "both" && engineSpec != "" {
+		q.Engine = engineSpec
+	}
+	if err := q.Canonicalize(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// printResult writes the Result as indented JSON.
+func printResult(res *spec.Result, out string) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out != "" {
+		return os.WriteFile(out, data, 0o644)
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
 // parseSweep resolves the -sweep dimension list. The historical bare
 // boolean form ("-sweep" with no value) is gone; "all" selects every
 // dimension.
@@ -188,14 +347,14 @@ func parseSweep(spec string) (map[string]bool, error) {
 		return dims, nil
 	}
 	if spec == "all" {
-		return map[string]bool{"coll": true, "topo": true, "scale": true, "stencil": true}, nil
+		return map[string]bool{"coll": true, "topo": true, "scale": true, "stencil": true, "service": true}, nil
 	}
 	for _, d := range strings.Split(spec, ",") {
 		switch d = strings.TrimSpace(d); d {
-		case "coll", "topo", "scale", "stencil":
+		case "coll", "topo", "scale", "stencil", "service":
 			dims[d] = true
 		default:
-			return nil, fmt.Errorf("unknown sweep dimension %q (want coll, topo, scale, stencil or all)", d)
+			return nil, fmt.Errorf("unknown sweep dimension %q (want coll, topo, scale, stencil, service or all)", d)
 		}
 	}
 	return dims, nil
@@ -279,6 +438,15 @@ func printStencilSweep(s *bench.StencilSweepReport) {
 	for _, p := range s.Points {
 		fmt.Printf("  %-12s %7d ranks  halo %4dB %10.1f ms/op  setup %7.0f ms  peakG %7d  virtual %10.2f us\n",
 			p.Dims, p.Ranks, p.HaloBytes, p.NsPerOp/1e6, p.SetupNs/1e6, p.PeakGoroutines, p.VirtualUs)
+	}
+}
+
+func printServiceSweep(s *bench.ServiceSweepReport) {
+	fmt.Printf("\nservice-sweep (%s, %d unique queries, cache hit ratio %.3f, coalesced %d, cli/http bit-identical %v):\n",
+		s.Machine, s.UniqueQueries, s.CacheHitRatio, s.Coalesced, s.BitIdentical)
+	for _, p := range s.Points {
+		fmt.Printf("  %3d clients %7d reqs %10.0f qps  p50 %7.0f us  p99 %7.0f us\n",
+			p.Clients, p.Requests, p.QPS, p.P50Us, p.P99Us)
 	}
 }
 

@@ -1,0 +1,92 @@
+// Command serverd hosts the simulator as a long-running what-if
+// service: the internal/server HTTP/JSON API over the declarative
+// internal/spec Query, with request coalescing, an LRU result cache,
+// bounded worker pools and Prometheus-style metrics.
+//
+// Usage:
+//
+//	go run ./cmd/serverd -addr :8080
+//	curl -s localhost:8080/v1/run -d '{"machine":"laptop",
+//	  "topology":{"nodes":4,"ppn":4},"collective":"allgather",
+//	  "sizes":[1024]}'
+//
+// See API.md for every endpoint, the full Query schema and more
+// examples. Shutdown is graceful: on SIGINT/SIGTERM the listener
+// closes, in-flight requests get -drain to finish (then their worlds
+// are aborted), and the simulator's parked rank workers are drained so
+// the process exits with no simulator goroutines.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent point queries (0 = GOMAXPROCS)")
+	sweepWorkers := flag.Int("sweep-workers", 0, "max concurrent sweep queries (0 = workers/4)")
+	cacheEntries := flag.Int("cache", 0, "result cache capacity (0 = default 4096)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request execution budget")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "serverd:", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
+	svc := server.New(server.Config{
+		Workers:      *workers,
+		SweepWorkers: *sweepWorkers,
+		CacheEntries: *cacheEntries,
+		Timeout:      *timeout,
+		Logger:       logger,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Info("serverd listening", "addr", *addr, "timeout", *timeout)
+
+	select {
+	case err := <-errCh:
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down", "drain", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Warn("shutdown", "err", err)
+	}
+	// Abort anything the drain window did not flush, then release the
+	// simulator's parked rank workers.
+	svc.Close()
+	released := mpi.DrainIdleWorkers()
+	logger.Info("stopped", "rank_workers_released", released)
+}

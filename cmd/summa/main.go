@@ -19,6 +19,9 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/summa"
+	// Blank import: installs the REPRO_COLL_TUNING environment
+	// compatibility shim (the tuning grammar lives in internal/spec).
+	_ "repro/internal/spec"
 )
 
 func main() {

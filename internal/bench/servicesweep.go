@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/spec"
+)
+
+// This file measures the service dimension: how fast the what-if
+// daemon answers queries once its cache is warm. The interesting
+// number is not simulation speed (the scale sweep owns that) but the
+// full HTTP round trip of a cache hit — parse, canonicalize,
+// fingerprint, LRU lookup, encode — which is the path an interactive
+// what-if client lives on.
+
+// ServicePoint is one client-concurrency step of the service sweep.
+type ServicePoint struct {
+	// Clients is the number of concurrent keep-alive clients.
+	Clients int `json:"clients"`
+	// Requests is the total requests issued at this step.
+	Requests int `json:"requests"`
+	// QPS is the measured warm-cache throughput.
+	QPS float64 `json:"qps"`
+	// P50Us and P99Us are warm-cache round-trip latency percentiles in
+	// host microseconds.
+	P50Us float64 `json:"p50_us"`
+	// P99Us is the 99th-percentile round trip.
+	P99Us float64 `json:"p99_us"`
+}
+
+// ServiceSweepReport is the service dimension of a BENCH report.
+type ServiceSweepReport struct {
+	// Machine is the cost-model profile the query set ran on.
+	Machine string `json:"machine"`
+	// UniqueQueries is the size of the distinct-fingerprint query set.
+	UniqueQueries int `json:"unique_queries"`
+	// CacheHitRatio is hits/(hits+misses) over the whole sweep; warm
+	// traffic dominates, so this must end up near 1.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// Coalesced counts requests that joined an identical in-flight
+	// simulation during the cold burst.
+	Coalesced int64 `json:"coalesced"`
+	// BitIdentical records the CLI/HTTP cross-check: the same canonical
+	// Query executed through spec.Run and through the HTTP endpoint
+	// returned identical virtual_ps on every point.
+	BitIdentical bool `json:"bit_identical_cli_http"`
+	// Points is the concurrency ladder.
+	Points []ServicePoint `json:"points"`
+}
+
+// serviceQuerySet builds the distinct what-if queries the sweep
+// cycles through — different collectives, shapes and ladders, so the
+// cache holds more than one entry.
+func serviceQuerySet(machine string) []string {
+	var qs []string
+	for _, c := range []struct {
+		coll  string
+		shape string
+		sizes string
+	}{
+		{"allgather", `{"nodes":4,"ppn":8}`, "[64,4096]"},
+		{"allreduce", `{"nodes":8,"ppn":4}`, "[1024]"},
+		{"bcast", `{"nodes":16,"ppn":2}`, "[65536]"},
+		{"barrier", `{"nodes":4,"ppn":4}`, "[1]"},
+		{"alltoall", `{"nodes":2,"ppn":8}`, "[512]"},
+		{"gather", `{"nodes":8,"ppn":8}`, "[256,2048]"},
+	} {
+		qs = append(qs, fmt.Sprintf(
+			`{"machine":%q,"topology":%s,"collective":%q,"sizes":%s}`,
+			machine, c.shape, c.coll, c.sizes))
+	}
+	return qs
+}
+
+// RunServiceSweep starts an in-process daemon, warms its cache with
+// the query set, then drives it with stepped concurrent keep-alive
+// clients and records warm-cache throughput and latency percentiles.
+// It also performs the CLI/HTTP bit-identity cross-check on the first
+// query.
+func RunServiceSweep(machine string, requestsPerStep int) (*ServiceSweepReport, error) {
+	if requestsPerStep <= 0 {
+		requestsPerStep = 20000
+	}
+	svc := server.New(server.Config{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	queries := serviceQuerySet(machine)
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 256
+
+	post := func(body string) ([]byte, error) {
+		resp, err := client.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("bench: service %d: %s", resp.StatusCode, b)
+		}
+		return b, nil
+	}
+
+	// Cold burst: every query issued concurrently several times over,
+	// so the coalescing path is exercised while the cache fills.
+	var wg sync.WaitGroup
+	coldErrs := make([]error, len(queries)*4)
+	for i := range coldErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, coldErrs[i] = post(queries[i%len(queries)])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range coldErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &ServiceSweepReport{Machine: machine, UniqueQueries: len(queries)}
+
+	// CLI/HTTP bit-identity cross-check on the first query.
+	q, err := spec.Parse([]byte(queries[0]))
+	if err != nil {
+		return nil, err
+	}
+	direct, err := spec.Run(q)
+	if err != nil {
+		return nil, err
+	}
+	body, err := post(queries[0])
+	if err != nil {
+		return nil, err
+	}
+	var viaHTTP spec.Result
+	if err := json.Unmarshal(body, &viaHTTP); err != nil {
+		return nil, err
+	}
+	rep.BitIdentical = len(direct.Points) == len(viaHTTP.Points)
+	for i := range direct.Points {
+		if !rep.BitIdentical || direct.Points[i].VirtualPs != viaHTTP.Points[i].VirtualPs {
+			rep.BitIdentical = false
+			break
+		}
+	}
+
+	// Warm steps: fixed request budget spread over the client count.
+	for _, clients := range []int{1, 8, 32} {
+		perClient := requestsPerStep / clients
+		latencies := make([][]time.Duration, clients)
+		errs := make([]error, clients)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				lat := make([]time.Duration, 0, perClient)
+				for i := 0; i < perClient; i++ {
+					t0 := time.Now()
+					if _, err := post(queries[(c+i)%len(queries)]); err != nil {
+						errs[c] = err
+						return
+					}
+					lat = append(lat, time.Since(t0))
+				}
+				latencies[c] = lat
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		var all []time.Duration
+		for _, lat := range latencies {
+			all = append(all, lat...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pct := func(p float64) float64 {
+			if len(all) == 0 {
+				return 0
+			}
+			i := int(p * float64(len(all)-1))
+			return float64(all[i]) / 1e3
+		}
+		rep.Points = append(rep.Points, ServicePoint{
+			Clients:  clients,
+			Requests: len(all),
+			QPS:      float64(len(all)) / elapsed.Seconds(),
+			P50Us:    pct(0.50),
+			P99Us:    pct(0.99),
+		})
+	}
+
+	hits, misses, coalesced := svc.Stats()
+	if hits+misses > 0 {
+		rep.CacheHitRatio = float64(hits) / float64(hits+misses)
+	}
+	rep.Coalesced = coalesced
+	return rep, nil
+}

@@ -66,6 +66,10 @@ type WallReport struct {
 	// grid halo exchanges per halo width up to 65,536 ranks
 	// (cmd/perf -sweep stencil).
 	StencilSweep *StencilSweepReport `json:"stencil_sweep,omitempty"`
+	// ServiceSweep records the simulation-as-a-service dimension:
+	// warm-cache throughput and latency of the what-if daemon
+	// (cmd/perf -sweep service).
+	ServiceSweep *ServiceSweepReport `json:"service_sweep,omitempty"`
 }
 
 // WallCases returns the standard wall-clock workload set: the paper's

@@ -303,19 +303,16 @@ func TestGatherScanThroughRegistry(t *testing.T) {
 	}
 }
 
-// TestParseTuningSharedLevel covers the new tuning key.
-func TestParseTuningSharedLevel(t *testing.T) {
-	tun, err := ParseTuning("policy=cost,sharedlevel=socket,gather=linear,scan=linear")
-	if err != nil {
-		t.Fatal(err)
-	}
+// TestTuningSharedLevelField covers the SharedLevel tuning key's
+// runtime effect surface. (Parsing the sharedlevel= grammar key lives
+// in internal/spec since the Spec API redesign.)
+func TestTuningSharedLevelField(t *testing.T) {
+	tun := Tuning{Policy: PolicyCost, SharedLevel: "socket",
+		Force: map[Collective]string{CollGather: "linear", CollScan: "linear"}}
 	if tun.SharedLevel != "socket" || tun.Policy != PolicyCost {
-		t.Fatalf("parsed %+v", tun)
+		t.Fatalf("tuning %+v", tun)
 	}
-	if tun.Force[CollGather] != "linear" || tun.Force[CollScan] != "linear" {
-		t.Fatalf("force map %v", tun.Force)
-	}
-	if _, err := ParseTuning("sharedlevel="); err == nil {
-		t.Error("empty sharedlevel accepted")
+	if !Registered(CollGather, tun.Force[CollGather]) || !Registered(CollScan, tun.Force[CollScan]) {
+		t.Fatalf("force map names unregistered algorithms: %v", tun.Force)
 	}
 }

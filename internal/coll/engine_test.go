@@ -152,24 +152,22 @@ func TestForceOverride(t *testing.T) {
 	}
 }
 
-func TestParseTuning(t *testing.T) {
-	tun, err := ParseTuning("policy=cost, allreduce=rabenseifner ,barrier=central")
-	if err != nil {
-		t.Fatal(err)
+// TestDefaultTuning covers the settable process default — the hook the
+// internal/spec REPRO_COLL_TUNING compatibility shim feeds. (The
+// textual grammar itself is owned and tested by internal/spec.)
+func TestDefaultTuning(t *testing.T) {
+	defer SetDefaultTuning(Tuning{})
+	if got := DefaultTuning(); got.Policy != PolicyTable || got.Force != nil {
+		t.Errorf("initial default = %+v", got)
 	}
-	if tun.Policy != PolicyCost {
-		t.Errorf("policy = %v", tun.Policy)
+	SetDefaultTuning(Tuning{Policy: PolicyCost, Force: map[Collective]string{CollBarrier: "central"}})
+	got := DefaultTuning()
+	if got.Policy != PolicyCost || got.Force[CollBarrier] != "central" {
+		t.Errorf("installed default = %+v", got)
 	}
-	if tun.Force[CollAllreduce] != "rabenseifner" || tun.Force[CollBarrier] != "central" {
-		t.Errorf("force map = %v", tun.Force)
-	}
-	if tun, err := ParseTuning(""); err != nil || tun.Policy != PolicyTable || tun.Force != nil {
-		t.Errorf("empty spec: %v %v", tun, err)
-	}
-	for _, bad := range []string{"policy=fast", "allgather=quantum", "warp=9", "nokey"} {
-		if _, err := ParseTuning(bad); err == nil {
-			t.Errorf("ParseTuning(%q) accepted", bad)
-		}
+	SetDefaultTuning(Tuning{})
+	if got := DefaultTuning(); got.Policy != PolicyTable || got.Force != nil {
+		t.Errorf("reset default = %+v", got)
 	}
 }
 

@@ -46,13 +46,12 @@ func ExampleNeighborAlltoall() {
 	// rank 3 got left=2 right=0
 }
 
-// Tuning specs configure the selection engine — the same grammar the
-// REPRO_COLL_TUNING environment variable accepts (see TUNING.md).
-func ExampleParseTuning() {
-	tun, err := coll.ParseTuning("policy=cost,allreduce=rabenseifner")
-	if err != nil {
-		panic(err)
-	}
+// Tuning values configure the selection engine; the textual grammar
+// the REPRO_COLL_TUNING environment variable accepts is parsed by
+// internal/spec (see TUNING.md and spec.ParseTuning).
+func ExampleWithTuning() {
+	tun := coll.Tuning{Policy: coll.PolicyCost,
+		Force: map[coll.Collective]string{coll.CollAllreduce: "rabenseifner"}}
 	fmt.Println(tun.Policy, tun.Force[coll.CollAllreduce])
 	// Output:
 	// cost rabenseifner

@@ -2,9 +2,7 @@ package coll
 
 import (
 	"fmt"
-	"os"
-	"strings"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/mpi"
 )
@@ -38,8 +36,27 @@ func (p Policy) String() string {
 	}
 }
 
+// ParsePolicy is the inverse of String.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "table":
+		return PolicyTable, nil
+	case "cost":
+		return PolicyCost, nil
+	default:
+		return 0, fmt.Errorf("coll: unknown policy %q (want table or cost)", s)
+	}
+}
+
 // Tuning configures the collective selection engine. The zero value is
 // the default: table policy, no overrides, node-level hybrid windows.
+//
+// The textual key=value grammar historically parsed here (the
+// REPRO_COLL_TUNING environment variable and the -tuning flags) is
+// owned by internal/spec since the Spec API redesign: spec.ParseTuning
+// parses it, spec.Tuning round-trips it, and importing internal/spec
+// installs the environment compatibility shim that feeds
+// SetDefaultTuning.
 type Tuning struct {
 	Policy Policy
 	// Force pins a collective to a named algorithm regardless of
@@ -51,89 +68,28 @@ type Tuning struct {
 	// window (and its sync domain) sits at: "node" (the paper's
 	// scheme, the default when empty) or any declared level inside the
 	// node ("socket", "numa"). Parsed from the sharedlevel= key of
-	// REPRO_COLL_TUNING and the -tuning flags.
+	// the spec tuning grammar.
 	SharedLevel string
 }
 
-// EnvVar is the environment variable the default tuning is read from.
-const EnvVar = "REPRO_COLL_TUNING"
+// defaultTun holds the process-wide default tuning (nil = zero Tuning).
+var defaultTun atomic.Pointer[Tuning]
 
-// ParseTuning parses a tuning spec of comma-separated key=value pairs:
-// "policy" takes "table" or "cost"; a collective name (allgather,
-// allgatherv, allreduce, reduce, bcast, barrier, alltoall) takes the
-// algorithm to force, e.g.
-//
-//	policy=cost,allreduce=rabenseifner,barrier=central
-//
-// The same syntax is accepted by the REPRO_COLL_TUNING environment
-// variable and the command-line -tuning flags.
-func ParseTuning(spec string) (Tuning, error) {
-	var t Tuning
-	spec = strings.TrimSpace(spec)
-	if spec == "" {
-		return t, nil
-	}
-	for _, part := range strings.Split(spec, ",") {
-		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if !ok {
-			return t, fmt.Errorf("coll: tuning entry %q is not key=value", part)
-		}
-		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
-		if key == "policy" {
-			switch val {
-			case "table":
-				t.Policy = PolicyTable
-			case "cost":
-				t.Policy = PolicyCost
-			default:
-				return t, fmt.Errorf("coll: unknown policy %q (want table or cost)", val)
-			}
-			continue
-		}
-		if key == "sharedlevel" {
-			if val == "" {
-				return t, fmt.Errorf("coll: sharedlevel needs a level name")
-			}
-			// Level existence is validated against the topology when a
-			// hybrid context is built (the tuning spec is parsed before
-			// any world exists).
-			t.SharedLevel = val
-			continue
-		}
-		cl, err := ParseCollective(key)
-		if err != nil {
-			return t, err
-		}
-		if !Registered(cl, val) {
-			return t, fmt.Errorf("coll: no algorithm %q registered for %s", val, cl)
-		}
-		if t.Force == nil {
-			t.Force = map[Collective]string{}
-		}
-		t.Force[cl] = val
-	}
-	return t, nil
-}
-
-var (
-	defaultOnce sync.Once
-	defaultTun  Tuning
-)
+// SetDefaultTuning installs the process-wide default tuning returned by
+// DefaultTuning — the fallback for every communicator with no attached
+// configuration. internal/spec calls it from its REPRO_COLL_TUNING
+// compatibility shim; tests and harnesses may call it directly. The
+// value is copied.
+func SetDefaultTuning(t Tuning) { defaultTun.Store(&t) }
 
 // DefaultTuning returns the process-wide default tuning: the zero
-// Tuning, overridden by REPRO_COLL_TUNING when set (a malformed value
-// is ignored rather than failing every collective in the job).
+// Tuning unless SetDefaultTuning installed another (internal/spec does
+// so from REPRO_COLL_TUNING when that variable is set).
 func DefaultTuning() Tuning {
-	defaultOnce.Do(func() {
-		if spec := os.Getenv(EnvVar); spec != "" {
-			if t, err := ParseTuning(spec); err == nil {
-				defaultTun = t
-			} else {
-				fmt.Fprintf(os.Stderr, "coll: ignoring %s: %v\n", EnvVar, err)
-			}
-		}
-	})
-	return defaultTun
+	if t := defaultTun.Load(); t != nil {
+		return *t
+	}
+	return Tuning{}
 }
 
 // WithTuning attaches a tuning configuration to a communicator handle

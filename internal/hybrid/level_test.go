@@ -97,10 +97,7 @@ func TestSocketLevelHybrid(t *testing.T) {
 // sharedlevel=socket builds socket-level contexts with no explicit
 // option.
 func TestSharedLevelViaTuning(t *testing.T) {
-	tun, err := coll.ParseTuning("sharedlevel=socket")
-	if err != nil {
-		t.Fatal(err)
-	}
+	tun := coll.Tuning{SharedLevel: "socket"}
 	topo := socketTopo(t)
 	runHierWorld(t, topo, []mpi.Option{mpi.WithCollConfig(tun)}, func(p *mpi.Proc) error {
 		ctx, err := New(p.CommWorld())

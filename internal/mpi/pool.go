@@ -71,6 +71,32 @@ var freeWorkers = struct {
 
 const freeWorkerCap = 4096
 
+// IdleWorkers reports how many parked workers the cross-world reserve
+// currently holds. Long-running hosts (the what-if daemon's /metrics
+// endpoint) export it as a pool-occupancy gauge.
+func IdleWorkers() int {
+	freeWorkers.mu.Lock()
+	defer freeWorkers.mu.Unlock()
+	return len(freeWorkers.idle)
+}
+
+// DrainIdleWorkers releases every worker parked on the cross-world
+// reserve and returns how many it released. Workers still serving a
+// live World are untouched (they re-park or exit on their own when
+// that World closes), so this is the graceful-shutdown hook: after the
+// last World is closed, a drain leaves the process with no simulator
+// goroutines.
+func DrainIdleWorkers() int {
+	freeWorkers.mu.Lock()
+	idle := freeWorkers.idle
+	freeWorkers.idle = nil
+	freeWorkers.mu.Unlock()
+	for _, assign := range idle {
+		close(assign)
+	}
+	return len(idle)
+}
+
 // freeAgent is a reusable worker: it serves one pool assignment at a
 // time and re-parks itself on the reserve between worlds.
 func freeAgent(assign chan workerAssignment) {

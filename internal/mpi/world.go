@@ -101,32 +101,64 @@ func (w *World) Aborted() bool {
 	}
 }
 
-// Option configures a World.
-type Option func(*World)
+// Config collects every World construction knob in one declarative,
+// value-semantics record — the single construction path layered
+// packages (internal/spec in particular) target. The functional
+// options below are thin wrappers over its fields; DefaultConfig is
+// the zero behavior NewWorld applies them to.
+type Config struct {
+	// Engine selects the execution backend Runs dispatch on:
+	// sim.EngineGoroutine (one parked worker per rank) or
+	// sim.EngineEvent (single-threaded discrete-event scheduler).
+	// DefaultConfig seeds it from the package default (SetDefaultEngine).
+	Engine sim.Engine
+	// FoldUnit enables rank-symmetry folding: only ranks 0..FoldUnit-1
+	// execute, every other rank aliases its class representative (see
+	// fold.go for the contract). 0 runs every rank. The unit is
+	// validated against the topology at construction.
+	FoldUnit int
+	// RealData makes buffers allocated through World helpers carry real
+	// bytes and eager sends snapshot payloads. Tests use it; the big
+	// size-only benchmark sweeps do not (see Buf). Incompatible with
+	// FoldUnit > 0.
+	RealData bool
+	// Tracer, when non-nil, receives every simulated event.
+	Tracer *sim.Tracer
+	// CollConfig is the world-default collective-tuning configuration
+	// (an internal/coll Tuning value, opaque here). Every rank's
+	// CommWorld handle — and every communicator derived from it —
+	// inherits the value.
+	CollConfig any
+}
+
+// DefaultConfig returns the configuration NewWorld starts from before
+// applying options: the package-default engine, no folding, size-only
+// buffers, no tracer, no collective tuning.
+func DefaultConfig() Config { return Config{Engine: DefaultEngine()} }
+
+// Option configures a World at construction by editing its Config.
+type Option func(*Config)
 
 // WithRealData makes buffers allocated through World helpers carry real
-// bytes and eager sends snapshot payloads. Tests use this; the big
-// benchmark sweeps do not (see Buf).
-func WithRealData() Option { return func(w *World) { w.real = true } }
+// bytes and eager sends snapshot payloads (Config.RealData).
+func WithRealData() Option { return func(c *Config) { c.RealData = true } }
 
-// WithTracer attaches an event tracer.
-func WithTracer(t *sim.Tracer) Option { return func(w *World) { w.tracer = t } }
+// WithTracer attaches an event tracer (Config.Tracer).
+func WithTracer(t *sim.Tracer) Option { return func(c *Config) { c.Tracer = t } }
 
 // WithCollConfig sets the world-default collective-tuning configuration
-// (an internal/coll Tuning value, opaque here). Every rank's CommWorld
-// handle — and every communicator derived from it — inherits the value,
-// which is how a workload or benchmark threads a tuning policy through
-// to the hybrid and collective layers.
-func WithCollConfig(v any) Option { return func(w *World) { w.collCfg = v } }
+// (Config.CollConfig), which is how a workload or benchmark threads a
+// tuning policy through to the hybrid and collective layers.
+func WithCollConfig(v any) Option { return func(c *Config) { c.CollConfig = v } }
 
-// WithEngine selects the execution backend for this world, overriding
-// the package default (see SetDefaultEngine).
-func WithEngine(e sim.Engine) Option { return func(w *World) { w.engine = e } }
+// WithEngine selects the execution backend for this world
+// (Config.Engine), overriding the package default (see
+// SetDefaultEngine).
+func WithEngine(e sim.Engine) Option { return func(c *Config) { c.Engine = e } }
 
-// WithFold enables rank-symmetry folding with the given fold unit (see
-// fold.go for the contract). NewWorld validates the unit against the
-// topology.
-func WithFold(unit int) Option { return func(w *World) { w.foldUnit = unit } }
+// WithFold enables rank-symmetry folding with the given fold unit
+// (Config.FoldUnit).
+func WithFold(unit int) Option { return func(c *Config) { c.FoldUnit = unit } }
 
 // defaultEngine holds the package-wide backend worlds are created with
 // when no WithEngine option is given. Harnesses that construct worlds
@@ -142,8 +174,19 @@ func SetDefaultEngine(e sim.Engine) { defaultEngine.Store(int32(e)) }
 func DefaultEngine() sim.Engine { return sim.Engine(defaultEngine.Load()) }
 
 // NewWorld creates a simulated MPI job on the given topology and machine
-// model.
+// model, applying the options to DefaultConfig.
 func NewWorld(model *sim.CostModel, topo *sim.Topology, opts ...Option) (*World, error) {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return NewWorldConfig(model, topo, cfg)
+}
+
+// NewWorldConfig creates a simulated MPI job from an explicit Config —
+// the declarative construction path. NewWorld's functional options are
+// a thin layer over it.
+func NewWorldConfig(model *sim.CostModel, topo *sim.Topology, cfg Config) (*World, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
@@ -151,15 +194,16 @@ func NewWorld(model *sim.CostModel, topo *sim.Topology, opts ...Option) (*World,
 		return nil, errors.New("mpi: nil or empty topology")
 	}
 	w := &World{
-		topo:    topo,
-		model:   model,
-		engine:  DefaultEngine(),
-		match:   newMatcher(),
-		coord:   newCoordinator(),
-		abortCh: make(chan struct{}),
-	}
-	for _, o := range opts {
-		o(w)
+		topo:     topo,
+		model:    model,
+		engine:   cfg.Engine,
+		real:     cfg.RealData,
+		tracer:   cfg.Tracer,
+		collCfg:  cfg.CollConfig,
+		foldUnit: cfg.FoldUnit,
+		match:    newMatcher(),
+		coord:    newCoordinator(),
+		abortCh:  make(chan struct{}),
 	}
 	if err := w.validateFold(); err != nil {
 		return nil, err

@@ -1,0 +1,54 @@
+package server
+
+import "sync"
+
+// flightGroup coalesces concurrent identical queries: the first
+// request for a fingerprint becomes the leader and executes; followers
+// arriving while it is in flight park on the call and receive the
+// leader's exact result value — one simulation, N responses,
+// bit-identical bodies. (Hand-rolled because the x/sync singleflight
+// package is a dependency this repository does not take; the follower
+// wait is also context-aware, which the handler needs for client
+// disconnects.)
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight execution. done is closed by the leader
+// after val/err are published; followers must only read them after
+// done.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// join registers interest in key. The first caller gets leader=true
+// and must eventually call finish; later callers get the leader's call
+// to wait on.
+func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	return c, true
+}
+
+// finish publishes the leader's outcome and wakes every follower. The
+// key is deregistered first, so a request arriving after finish starts
+// a fresh flight (it will hit the result cache instead).
+func (g *flightGroup) finish(key string, c *flightCall, val any, err error) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.val, c.err = val, err
+	close(c.done)
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the fixed upper bounds (seconds) of the request
+// latency histogram — microseconds for warm cache hits up through the
+// request timeout ceiling.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// metrics is the server's instrumentation: lock-free counters on the
+// hot path (a warm cache hit must stay cheap enough for the 10k qps
+// target) and a mutex only around the request-count label map, which
+// sees one short critical section per request.
+type metrics struct {
+	cacheHits  atomic.Int64
+	cacheMiss  atomic.Int64
+	coalesced  atomic.Int64
+	pointBusy  atomic.Int64   // point worker slots currently held
+	sweepBusy  atomic.Int64   // sweep worker slots currently held
+	histCounts []atomic.Int64 // len(latencyBuckets)+1, last is +Inf
+	histSumNs  atomic.Int64
+	histN      atomic.Int64
+
+	mu       sync.Mutex
+	requests map[string]int64 // "endpoint|code" -> count
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		histCounts: make([]atomic.Int64, len(latencyBuckets)+1),
+		requests:   make(map[string]int64),
+	}
+}
+
+// request records one completed request.
+func (m *metrics) request(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	m.requests[fmt.Sprintf("%s|%d", endpoint, code)]++
+	m.mu.Unlock()
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, s)
+	m.histCounts[i].Add(1)
+	m.histSumNs.Add(int64(d))
+	m.histN.Add(1)
+}
+
+// render writes the Prometheus text exposition of every metric.
+// cacheLen and idleWorkers are sampled by the caller at scrape time.
+func (m *metrics) render(w *strings.Builder, cacheLen, idleWorkers int, pointCap, sweepCap int) {
+	fmt.Fprintf(w, "# HELP repro_requests_total Completed HTTP requests by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE repro_requests_total counter\n")
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		endpoint, code, _ := strings.Cut(k, "|")
+		fmt.Fprintf(w, "repro_requests_total{endpoint=%q,code=%q} %d\n", endpoint, code, m.requests[k])
+	}
+	m.mu.Unlock()
+
+	hits, miss := m.cacheHits.Load(), m.cacheMiss.Load()
+	fmt.Fprintf(w, "# HELP repro_cache_hits_total Run results served from the LRU cache.\n")
+	fmt.Fprintf(w, "# TYPE repro_cache_hits_total counter\nrepro_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# HELP repro_cache_misses_total Run queries that had to simulate.\n")
+	fmt.Fprintf(w, "# TYPE repro_cache_misses_total counter\nrepro_cache_misses_total %d\n", miss)
+	ratio := 0.0
+	if hits+miss > 0 {
+		ratio = float64(hits) / float64(hits+miss)
+	}
+	fmt.Fprintf(w, "# HELP repro_cache_hit_ratio Fraction of run lookups served from cache.\n")
+	fmt.Fprintf(w, "# TYPE repro_cache_hit_ratio gauge\nrepro_cache_hit_ratio %g\n", ratio)
+	fmt.Fprintf(w, "# HELP repro_cache_entries Resident result-cache entries.\n")
+	fmt.Fprintf(w, "# TYPE repro_cache_entries gauge\nrepro_cache_entries %d\n", cacheLen)
+	fmt.Fprintf(w, "# HELP repro_coalesced_total Requests that joined an identical in-flight query.\n")
+	fmt.Fprintf(w, "# TYPE repro_coalesced_total counter\nrepro_coalesced_total %d\n", m.coalesced.Load())
+
+	fmt.Fprintf(w, "# HELP repro_pool_busy Worker slots currently executing, by class.\n")
+	fmt.Fprintf(w, "# TYPE repro_pool_busy gauge\n")
+	fmt.Fprintf(w, "repro_pool_busy{class=\"point\"} %d\n", m.pointBusy.Load())
+	fmt.Fprintf(w, "repro_pool_busy{class=\"sweep\"} %d\n", m.sweepBusy.Load())
+	fmt.Fprintf(w, "# HELP repro_pool_capacity Worker slots configured, by class.\n")
+	fmt.Fprintf(w, "# TYPE repro_pool_capacity gauge\n")
+	fmt.Fprintf(w, "repro_pool_capacity{class=\"point\"} %d\n", pointCap)
+	fmt.Fprintf(w, "repro_pool_capacity{class=\"sweep\"} %d\n", sweepCap)
+	fmt.Fprintf(w, "# HELP repro_rank_pool_idle_workers Parked simulator rank workers on the cross-world reserve.\n")
+	fmt.Fprintf(w, "# TYPE repro_rank_pool_idle_workers gauge\nrepro_rank_pool_idle_workers %d\n", idleWorkers)
+
+	fmt.Fprintf(w, "# HELP repro_request_seconds Request latency.\n")
+	fmt.Fprintf(w, "# TYPE repro_request_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += m.histCounts[i].Load()
+		fmt.Fprintf(w, "repro_request_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", ub), cum)
+	}
+	cum += m.histCounts[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "repro_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "repro_request_seconds_sum %g\n", float64(m.histSumNs.Load())/1e9)
+	fmt.Fprintf(w, "repro_request_seconds_count %d\n", m.histN.Load())
+}
+
+// snapshot returns (hits, misses, coalesced) for tests and the service
+// sweep harness.
+func (m *metrics) snapshot() (hits, misses, coalesced int64) {
+	return m.cacheHits.Load(), m.cacheMiss.Load(), m.coalesced.Load()
+}

@@ -1,0 +1,390 @@
+// Package server is the simulation-as-a-service layer: an HTTP/JSON
+// front end over internal/spec that turns the simulator into a
+// long-running what-if daemon (cmd/serverd hosts it; tests and the
+// bench harness embed it in-process).
+//
+// The service contract is built on spec's canonical form. Every query
+// is parsed strictly, canonicalized, and identified by its
+// fingerprint; two requests describing the same run — whatever
+// shorthand or field order they used — share one cache entry and, when
+// concurrent, one execution:
+//
+//   - identical in-flight queries are coalesced (single-flight): the
+//     first request simulates, the rest park and receive the same
+//     result, so a thundering herd of one hot query costs one run
+//   - completed results live in a fixed-capacity LRU keyed by
+//     fingerprint, so a warm cache answers point queries without
+//     touching the simulator at all
+//   - execution is bounded by two worker pools: sweep-class queries
+//     (long ladders or large worlds) compete for a small pool while
+//     point queries keep their own slots, so a batch of sweeps cannot
+//     starve interactive what-ifs
+//   - each execution runs under the configured timeout; expiry aborts
+//     the in-flight world (every blocked rank wakes) and the client
+//     gets 504
+//
+// Endpoints: POST /v1/run (simulate), POST /v1/price (selection-engine
+// estimates, no simulation), POST /v1/canon (canonical form +
+// fingerprint), GET /healthz, GET /metrics (Prometheus text). See
+// API.md for the full schema and examples.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/spec"
+)
+
+// Config sizes the service. The zero value is usable: every field
+// defaults sensibly in New.
+type Config struct {
+	// Workers bounds concurrently executing point queries (default:
+	// GOMAXPROCS).
+	Workers int
+	// SweepWorkers bounds concurrently executing sweep-class queries
+	// (default: Workers/4, at least 1). Kept strictly below Workers so
+	// sweeps cannot occupy every slot.
+	SweepWorkers int
+	// SweepSizes is the ladder length at which a query counts as a
+	// sweep (default 4).
+	SweepSizes int
+	// SweepRanks is the world size at which a query counts as a sweep
+	// (default 4096).
+	SweepRanks int
+	// CacheEntries is the result-cache capacity (default 4096).
+	CacheEntries int
+	// Timeout is the per-request execution budget; expiry aborts the
+	// world and returns 504 (default 60s).
+	Timeout time.Duration
+	// MaxBodyBytes caps a request body (default 1 MiB).
+	MaxBodyBytes int64
+	// Logger receives structured request logs (default slog.Default).
+	Logger *slog.Logger
+}
+
+// Server is the what-if service. It implements http.Handler; hosting
+// (listening, TLS, graceful shutdown) belongs to the caller — see
+// cmd/serverd.
+type Server struct {
+	cfg     Config
+	cache   *resultCache
+	flight  *flightGroup
+	met     *metrics
+	mux     *http.ServeMux
+	points  chan struct{} // point-class worker slots
+	sweeps  chan struct{} // sweep-class worker slots
+	baseCtx context.Context
+	stop    context.CancelFunc
+}
+
+// New builds a Server from cfg, applying defaults for zero fields.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SweepWorkers <= 0 {
+		cfg.SweepWorkers = cfg.Workers / 4
+	}
+	if cfg.SweepWorkers < 1 {
+		cfg.SweepWorkers = 1
+	}
+	if cfg.SweepSizes <= 0 {
+		cfg.SweepSizes = 4
+	}
+	if cfg.SweepRanks <= 0 {
+		cfg.SweepRanks = 4096
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 4096
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheEntries),
+		flight:  newFlightGroup(),
+		met:     newMetrics(),
+		mux:     http.NewServeMux(),
+		points:  make(chan struct{}, cfg.Workers),
+		sweeps:  make(chan struct{}, cfg.SweepWorkers),
+		baseCtx: ctx,
+		stop:    stop,
+	}
+	s.mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
+	s.mux.HandleFunc("POST /v1/price", s.instrument("/v1/price", s.handlePrice))
+	s.mux.HandleFunc("POST /v1/canon", s.instrument("/v1/canon", s.handleCanon))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	return s
+}
+
+// ServeHTTP dispatches to the service mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels the server's base context: leaders still simulating
+// abort their worlds and report cancellation. Call after the HTTP host
+// has stopped accepting requests; then drain the rank-worker reserve
+// via mpi.DrainIdleWorkers.
+func (s *Server) Close() { s.stop() }
+
+// Stats reports (cacheHits, cacheMisses, coalesced) — consumed by the
+// service-sweep bench harness and the smoke tests.
+func (s *Server) Stats() (hits, misses, coalesced int64) { return s.met.snapshot() }
+
+// httpError is an error carrying the status code the handler should
+// answer with.
+type httpError struct {
+	code int
+	err  error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+// statusWriter remembers the status code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the status before delegating.
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with latency/count metrics and a
+// structured request log line.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		d := time.Since(start)
+		s.met.request(endpoint, sw.code, d)
+		s.cfg.Logger.Debug("request",
+			"endpoint", endpoint, "code", sw.code, "duration", d,
+			"cache", sw.Header().Get("X-Cache"))
+	}
+}
+
+// writeJSON writes v as the JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is the only failure
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	// Error is the human-readable failure description.
+	Error string `json:"error"`
+}
+
+// writeError maps err onto the JSON error envelope. Validation errors
+// (anything from spec parsing) are 400; timeouts 504; cancellations
+// 503; an *httpError carries its own code.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		code = he.code
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// readQuery strictly decodes the request body into a canonical Query.
+func (s *Server) readQuery(w http.ResponseWriter, r *http.Request) (*spec.Query, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, &httpError{http.StatusRequestEntityTooLarge, err}
+	}
+	q, err := spec.Parse(body)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err}
+	}
+	return q, nil
+}
+
+// sweepClass reports whether the query competes for the sweep pool:
+// long ladders and large worlds are the workloads that would otherwise
+// occupy every slot.
+func (s *Server) sweepClass(q *spec.Query) bool {
+	return len(q.Sizes) >= s.cfg.SweepSizes || q.Topology.Ranks() >= s.cfg.SweepRanks
+}
+
+// acquire takes one slot from pool, honoring ctx while waiting.
+func acquire(ctx context.Context, pool chan struct{}) error {
+	select {
+	case pool <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// handleRun is POST /v1/run: execute the query (or serve it from the
+// cache / an identical in-flight execution) and return the
+// spec.Result. The X-Cache response header reports which path answered
+// (hit, miss, coalesced); the body is bit-identical on all three.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	q, err := s.readQuery(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	fp, err := q.Fingerprint()
+	if err != nil {
+		writeError(w, &httpError{http.StatusBadRequest, err})
+		return
+	}
+	if res, ok := s.cache.get("run:" + fp); ok {
+		s.met.cacheHits.Add(1)
+		w.Header().Set("X-Cache", "hit")
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	call, leader := s.flight.join(fp)
+	if !leader {
+		s.met.coalesced.Add(1)
+		select {
+		case <-call.done:
+		case <-r.Context().Done():
+			writeError(w, r.Context().Err())
+			return
+		}
+		if call.err != nil {
+			writeError(w, call.err)
+			return
+		}
+		w.Header().Set("X-Cache", "coalesced")
+		writeJSON(w, http.StatusOK, call.val)
+		return
+	}
+
+	s.met.cacheMiss.Add(1)
+	res, err := s.execute(q)
+	s.flight.finish(fp, call, res, err)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.cache.add("run:"+fp, res)
+	w.Header().Set("X-Cache", "miss")
+	writeJSON(w, http.StatusOK, res)
+}
+
+// execute runs the query under the worker pools and the configured
+// timeout. The execution context descends from the server's base
+// context, not the requester's: coalesced followers must receive the
+// result even if the leader's client disconnects.
+func (s *Server) execute(q *spec.Query) (*spec.Result, error) {
+	pool, busy := s.points, &s.met.pointBusy
+	if s.sweepClass(q) {
+		pool, busy = s.sweeps, &s.met.sweepBusy
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.Timeout)
+	defer cancel()
+	if err := acquire(ctx, pool); err != nil {
+		return nil, fmt.Errorf("server: waiting for a worker slot: %w", err)
+	}
+	busy.Add(1)
+	defer func() { busy.Add(-1); <-pool }()
+	return spec.RunContext(ctx, q)
+}
+
+// handlePrice is POST /v1/price: run the selection engine over the
+// ladder without simulating. Cheap enough that it bypasses the worker
+// pools; cached under its own key space.
+func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
+	q, err := s.readQuery(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	fp, err := q.Fingerprint()
+	if err != nil {
+		writeError(w, &httpError{http.StatusBadRequest, err})
+		return
+	}
+	if rep, ok := s.cache.get("price:" + fp); ok {
+		w.Header().Set("X-Cache", "hit")
+		writeJSON(w, http.StatusOK, rep)
+		return
+	}
+	rep, err := spec.Price(q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.cache.add("price:"+fp, rep)
+	w.Header().Set("X-Cache", "miss")
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// canonBody is the POST /v1/canon response: the canonical form and
+// its fingerprint, without executing anything.
+type canonBody struct {
+	// Fingerprint is the hex SHA-256 of Canonical.
+	Fingerprint string `json:"fingerprint"`
+	// Canonical is the canonical JSON of the submitted query.
+	Canonical json.RawMessage `json:"canonical"`
+}
+
+// handleCanon is POST /v1/canon: validate, canonicalize, fingerprint.
+func (s *Server) handleCanon(w http.ResponseWriter, r *http.Request) {
+	q, err := s.readQuery(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	canon, err := q.CanonicalJSON()
+	if err != nil {
+		writeError(w, &httpError{http.StatusBadRequest, err})
+		return
+	}
+	fp, err := q.Fingerprint()
+	if err != nil {
+		writeError(w, &httpError{http.StatusBadRequest, err})
+		return
+	}
+	writeJSON(w, http.StatusOK, canonBody{Fingerprint: fp, Canonical: canon})
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics is GET /metrics: Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	s.met.render(&b, s.cache.len(), mpi.IdleWorkers(), s.cfg.Workers, s.cfg.SweepWorkers)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	io.WriteString(w, b.String()) //nolint:errcheck // client gone is the only failure
+}

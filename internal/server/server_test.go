@@ -1,0 +1,284 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/spec"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden response files")
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func newTestServer() *server.Server {
+	return server.New(server.Config{
+		Workers:      4,
+		SweepWorkers: 1,
+		Timeout:      30 * time.Second,
+		Logger:       quietLogger(),
+	})
+}
+
+func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+const pointBody = `{"machine":"laptop","topology":{"nodes":2,"ppn":2},
+	"collective":"allgather","sizes":[64,4096],"tuning":{"policy":"cost"}}`
+
+// TestHandlerGolden drives every JSON endpoint through one server and
+// compares full response bodies against testdata goldens (regenerate
+// with -update). The table is ordered: the repeated run must be the
+// cache hit, with a body byte-identical to the miss.
+func TestHandlerGolden(t *testing.T) {
+	srv := newTestServer()
+	defer srv.Close()
+	cases := []struct {
+		name      string
+		method    string
+		path      string
+		body      string
+		wantCode  int
+		wantCache string
+	}{
+		{"run_point", "POST", "/v1/run", pointBody, 200, "miss"},
+		{"run_point", "POST", "/v1/run", pointBody, 200, "hit"},
+		{"run_barrier", "POST", "/v1/run",
+			`{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"barrier","sizes":[1,2,3]}`,
+			200, "miss"},
+		{"price_allgather", "POST", "/v1/price",
+			`{"machine":"hazelhen-cray","topology":{"nodes":8,"ppn":8},"collective":"allgather","sizes":[64,1048576]}`,
+			200, "miss"},
+		{"canon_shorthand", "POST", "/v1/canon",
+			`{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8]}`,
+			200, ""},
+		{"canon_stack", "POST", "/v1/canon",
+			`{"engine":"goroutine","machine":"laptop","collective":"bcast","sizes":[8],
+			  "topology":{"per_leaf":2,"levels":[{"name":"node","arity":2}]}}`,
+			200, ""},
+		{"err_unknown_field", "POST", "/v1/run",
+			`{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8],"warp":9}`,
+			400, ""},
+		{"err_bad_machine", "POST", "/v1/run",
+			`{"machine":"cray-3","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8]}`,
+			400, ""},
+		{"healthz", "GET", "/healthz", "", 200, ""},
+	}
+	bodies := map[string][]byte{}
+	for i, tc := range cases {
+		rec := do(t, srv, tc.method, tc.path, tc.body)
+		if rec.Code != tc.wantCode {
+			t.Fatalf("case %d %s: code %d, want %d: %s", i, tc.name, rec.Code, tc.wantCode, rec.Body)
+		}
+		if got := rec.Header().Get("X-Cache"); got != tc.wantCache {
+			t.Errorf("case %d %s: X-Cache %q, want %q", i, tc.name, got, tc.wantCache)
+		}
+		if prev, ok := bodies[tc.name]; ok {
+			if !bytes.Equal(prev, rec.Body.Bytes()) {
+				t.Errorf("case %d %s: repeat body differs from first response", i, tc.name)
+			}
+			continue
+		}
+		bodies[tc.name] = rec.Body.Bytes()
+		golden := filepath.Join("testdata", tc.name+".golden")
+		if *update {
+			if err := os.WriteFile(golden, rec.Body.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%s (run with -update to regenerate): %v", golden, err)
+		}
+		if !bytes.Equal(want, rec.Body.Bytes()) {
+			t.Errorf("%s: response drifted from golden:\n got: %s\nwant: %s", tc.name, rec.Body, want)
+		}
+	}
+	// The two canonical forms describe the same run: identical
+	// fingerprints, identical canonical JSON, hence identical bodies.
+	if !bytes.Equal(bodies["canon_shorthand"], bodies["canon_stack"]) {
+		t.Errorf("shorthand and stack canon bodies differ:\n%s\n%s",
+			bodies["canon_shorthand"], bodies["canon_stack"])
+	}
+}
+
+// TestMethodAndRouteErrors covers the mux-level failure surface.
+func TestMethodAndRouteErrors(t *testing.T) {
+	srv := newTestServer()
+	defer srv.Close()
+	if rec := do(t, srv, "GET", "/v1/run", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run = %d, want 405", rec.Code)
+	}
+	if rec := do(t, srv, "POST", "/v1/nope", "{}"); rec.Code != http.StatusNotFound {
+		t.Errorf("POST /v1/nope = %d, want 404", rec.Code)
+	}
+}
+
+// TestMetricsEndpoint checks the exposition after traffic: counters
+// present, cache ratio positive once a hit happened.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newTestServer()
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		if rec := do(t, srv, "POST", "/v1/run", pointBody); rec.Code != 200 {
+			t.Fatalf("run %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	rec := do(t, srv, "GET", "/metrics", "")
+	if rec.Code != 200 {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		"repro_cache_hits_total 2",
+		"repro_cache_misses_total 1",
+		"repro_requests_total{endpoint=\"/v1/run\",code=\"200\"} 3",
+		"repro_cache_hit_ratio 0.6666666666666666",
+		"repro_pool_capacity{class=\"point\"} 4",
+		"repro_request_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestHTTPMatchesCLI is the acceptance cross-check: the same Query
+// through spec.Run (the CLI path) and through the HTTP handler yields
+// bit-identical virtual times.
+func TestHTTPMatchesCLI(t *testing.T) {
+	q, err := spec.Parse([]byte(pointBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := spec.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer()
+	defer srv.Close()
+	rec := do(t, srv, "POST", "/v1/run", pointBody)
+	if rec.Code != 200 {
+		t.Fatalf("http run: %d %s", rec.Code, rec.Body)
+	}
+	var viaHTTP spec.Result
+	if err := jsonUnmarshalStrict(rec.Body.Bytes(), &viaHTTP); err != nil {
+		t.Fatal(err)
+	}
+	if viaHTTP.Fingerprint != direct.Fingerprint {
+		t.Errorf("fingerprints differ: %s vs %s", viaHTTP.Fingerprint, direct.Fingerprint)
+	}
+	if len(viaHTTP.Points) != len(direct.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(viaHTTP.Points), len(direct.Points))
+	}
+	for i := range direct.Points {
+		if viaHTTP.Points[i].VirtualPs != direct.Points[i].VirtualPs {
+			t.Errorf("point %d: HTTP %d ps, CLI %d ps", i,
+				viaHTTP.Points[i].VirtualPs, direct.Points[i].VirtualPs)
+		}
+	}
+}
+
+// TestConcurrentClientsCoalesce hammers one fingerprint from many
+// goroutines (run under -race in CI): every response must be 200 with
+// a byte-identical body, and the server must have simulated the query
+// far fewer times than it answered it.
+func TestConcurrentClientsCoalesce(t *testing.T) {
+	srv := newTestServer()
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const clients = 24
+	body := `{"machine":"laptop","topology":{"nodes":4,"ppn":4},
+		"collective":"allreduce","sizes":[1048576],"iters":4}`
+	var wg sync.WaitGroup
+	responses := make([][]byte, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != 200 {
+				t.Errorf("client %d: %d %s", i, resp.StatusCode, b)
+				return
+			}
+			responses[i] = b
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(responses[0], responses[i]) {
+			t.Errorf("client %d body differs from client 0:\n%s\n%s", i, responses[i], responses[0])
+		}
+	}
+	hits, misses, coalesced := srv.Stats()
+	if hits+misses+coalesced != clients {
+		t.Errorf("stats hits=%d misses=%d coalesced=%d do not add up to %d clients",
+			hits, misses, coalesced, clients)
+	}
+	if misses == clients {
+		t.Errorf("no request was coalesced or cache-served (misses=%d)", misses)
+	}
+	t.Logf("hits=%d misses=%d coalesced=%d", hits, misses, coalesced)
+}
+
+// TestExecuteTimeout: a timeout too short to even acquire a slot must
+// surface as 504, not hang.
+func TestExecuteTimeout(t *testing.T) {
+	srv := server.New(server.Config{
+		Workers: 1, SweepWorkers: 1,
+		Timeout: time.Nanosecond,
+		Logger:  quietLogger(),
+	})
+	defer srv.Close()
+	rec := do(t, srv, "POST", "/v1/run", pointBody)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Errorf("code %d, want 504: %s", rec.Code, rec.Body)
+	}
+}
+
+// jsonUnmarshalStrict decodes exactly one JSON value, rejecting
+// unknown fields — response schemas drifting from spec.Result should
+// fail loudly here.
+func jsonUnmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

@@ -1,0 +1,297 @@
+package spec
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/coll"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Point is one ladder entry of a Result: the exact virtual cost of
+// Iters back-to-back operations at one message size.
+type Point struct {
+	// Bytes is the ladder entry (see Query.Sizes for per-collective
+	// semantics).
+	Bytes int `json:"bytes"`
+	// FoldUnit is the rank-symmetry fold unit this point executed
+	// under (0 = every rank ran).
+	FoldUnit int `json:"fold_unit"`
+	// VirtualPs is the exact total virtual makespan of Iters
+	// operations, in picoseconds — the bit-identity anchor across CLI,
+	// HTTP and engines.
+	VirtualPs int64 `json:"virtual_ps"`
+	// VirtualUsPerOp is the per-operation virtual makespan in
+	// microseconds.
+	VirtualUsPerOp float64 `json:"virtual_us_per_op"`
+}
+
+// Result is what executing a Query produces: one Point per ladder
+// size, plus the canonical identity of the run.
+type Result struct {
+	// Fingerprint is the query's canonical fingerprint (the service
+	// cache key).
+	Fingerprint string `json:"fingerprint"`
+	// Machine is the cost-model profile name.
+	Machine string `json:"machine"`
+	// Topology is the human-readable shape, e.g. "64x24".
+	Topology string `json:"topology"`
+	// Ranks is the total rank count.
+	Ranks int `json:"ranks"`
+	// Collective is the operation simulated.
+	Collective string `json:"collective"`
+	// Engine is the execution backend the points ran on.
+	Engine string `json:"engine"`
+	// Iters is the per-point repetition count.
+	Iters int `json:"iters"`
+	// Tuning is the selection-engine tuning in the textual grammar.
+	Tuning string `json:"tuning"`
+	// Points is the ladder, ascending by Bytes.
+	Points []Point `json:"points"`
+}
+
+// runBody executes iters operations of one collective at ladder size b
+// on one rank. Buffers are size-only (no data movement): a Query
+// measures virtual time, not payload contents.
+type runBody func(p *mpi.Proc, b, iters int) error
+
+// elems converts a byte size into whole float64 elements for the
+// reducing collectives (at least one).
+func elems(b int) int {
+	if b < 8 {
+		return 1
+	}
+	return b / 8
+}
+
+// runBodies maps every collective expressible in a Query to its
+// executor. Canonicalize consults the key set, so adding an entry here
+// is all it takes to open a collective to the Spec API.
+var runBodies = map[coll.Collective]runBody{
+	coll.CollAllgather: func(p *mpi.Proc, b, iters int) error {
+		// The hierarchical (node+bridge) allgather — the paper's
+		// canonical what-if subject and the scale sweep's workload.
+		h, err := coll.NewHier(p.CommWorld())
+		if err != nil {
+			return err
+		}
+		send, recv := mpi.Sized(b), mpi.Sized(b*p.Size())
+		for i := 0; i < iters; i++ {
+			if err := h.Allgather(send, recv, b); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	coll.CollAllgatherv: func(p *mpi.Proc, b, iters int) error {
+		c := p.CommWorld()
+		counts := make([]int, c.Size())
+		for i := range counts {
+			counts[i] = b
+		}
+		send, recv := mpi.Sized(b), mpi.Sized(b*c.Size())
+		for i := 0; i < iters; i++ {
+			if err := coll.Allgatherv(c, send, recv, counts); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	coll.CollAllreduce: func(p *mpi.Proc, b, iters int) error {
+		c, n := p.CommWorld(), elems(b)
+		send, recv := mpi.Sized(n*8), mpi.Sized(n*8)
+		for i := 0; i < iters; i++ {
+			if err := coll.Allreduce(c, send, recv, n, mpi.Float64, mpi.OpSum); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	coll.CollReduce: func(p *mpi.Proc, b, iters int) error {
+		c, n := p.CommWorld(), elems(b)
+		send, recv := mpi.Sized(n*8), mpi.Sized(n*8)
+		for i := 0; i < iters; i++ {
+			if err := coll.Reduce(c, send, recv, n, mpi.Float64, mpi.OpSum, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	coll.CollScan: func(p *mpi.Proc, b, iters int) error {
+		c, n := p.CommWorld(), elems(b)
+		send, recv := mpi.Sized(n*8), mpi.Sized(n*8)
+		for i := 0; i < iters; i++ {
+			if err := coll.Scan(c, send, recv, n, mpi.Float64, mpi.OpSum); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	coll.CollBcast: func(p *mpi.Proc, b, iters int) error {
+		c, buf := p.CommWorld(), mpi.Sized(b)
+		for i := 0; i < iters; i++ {
+			if err := coll.Bcast(c, buf, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	coll.CollBarrier: func(p *mpi.Proc, _, iters int) error {
+		c := p.CommWorld()
+		for i := 0; i < iters; i++ {
+			if err := coll.Barrier(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	coll.CollAlltoall: func(p *mpi.Proc, b, iters int) error {
+		c := p.CommWorld()
+		send, recv := mpi.Sized(b*c.Size()), mpi.Sized(b*c.Size())
+		for i := 0; i < iters; i++ {
+			if err := coll.Alltoall(c, send, recv, b); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	coll.CollGather: func(p *mpi.Proc, b, iters int) error {
+		c := p.CommWorld()
+		send, recv := mpi.Sized(b), mpi.Sized(b*c.Size())
+		for i := 0; i < iters; i++ {
+			if err := coll.Gather(c, send, recv, b, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+}
+
+// autoFoldUnit resolves the rank-symmetry fold unit of a ladder point
+// under fold "auto": the coll fold helpers' approval for the workloads
+// they cover, 0 (unfolded) otherwise.
+func autoFoldUnit(model *sim.CostModel, topo *sim.Topology, cl coll.Collective, b int, tun coll.Tuning) int {
+	switch cl {
+	case coll.CollAllgather:
+		return coll.HierAllgatherFoldUnit(model, topo, b, tun)
+	case coll.CollAllreduce:
+		n := elems(b)
+		return coll.AllreduceFoldUnit(model, topo, n*8, n, tun)
+	}
+	return 0
+}
+
+// Run executes the query and returns its Result. The query is
+// canonicalized in place.
+func Run(q *Query) (*Result, error) { return RunContext(context.Background(), q) }
+
+// RunContext is Run with cancellation: when ctx is cancelled the
+// in-flight world is aborted (every blocked rank wakes with an error)
+// and the context's error is returned. One world is built per ladder
+// size — construction is cheap against the interned topology and
+// geometry caches — and closed before the next, so a finished run
+// holds no rank-pool goroutines.
+func RunContext(ctx context.Context, q *Query) (*Result, error) {
+	if err := q.Canonicalize(); err != nil {
+		return nil, err
+	}
+	fp, err := q.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	model, err := q.Model()
+	if err != nil {
+		return nil, err
+	}
+	topo, err := q.Topology.Build()
+	if err != nil {
+		return nil, err
+	}
+	engine, err := sim.ParseEngine(q.Engine)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := coll.ParseCollective(q.Collective)
+	if err != nil {
+		return nil, err
+	}
+	body, ok := runBodies[cl]
+	if !ok {
+		return nil, fmt.Errorf("spec: collective %q is not expressible in a query", q.Collective)
+	}
+	collTun, err := q.Tuning.Coll()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Fingerprint: fp,
+		Machine:     q.Machine,
+		Topology:    topo.String(),
+		Ranks:       topo.Size(),
+		Collective:  q.Collective,
+		Engine:      q.Engine,
+		Iters:       q.Iters,
+		Tuning:      q.Tuning.Spec(),
+	}
+	for _, b := range q.Sizes {
+		fold := 0
+		switch q.Fold {
+		case "off":
+		case "auto":
+			if engine == sim.EngineEvent {
+				fold = autoFoldUnit(model, topo, cl, b, collTun)
+			}
+		default:
+			fold, _ = strconv.Atoi(q.Fold)
+		}
+		pt, err := runPoint(ctx, model, topo, engine, fold, collTun, body, b, q.Iters)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %s at %d B: %w", q.Collective, b, err)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// runPoint builds one world and executes one ladder point on it.
+func runPoint(ctx context.Context, model *sim.CostModel, topo *sim.Topology, engine sim.Engine,
+	fold int, tun coll.Tuning, body runBody, b, iters int) (Point, error) {
+	w, err := mpi.NewWorldConfig(model, topo, mpi.Config{
+		Engine:     engine,
+		FoldUnit:   fold,
+		CollConfig: tun,
+	})
+	if err != nil {
+		return Point{}, err
+	}
+	defer w.Close()
+
+	// Cancellation: an expired context aborts the world, waking every
+	// blocked rank. The watcher is released before Close.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			w.Abort()
+		case <-stop:
+		}
+	}()
+
+	if err := w.Run(func(p *mpi.Proc) error { return body(p, b, iters) }); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Point{}, fmt.Errorf("run cancelled: %w", ctxErr)
+		}
+		return Point{}, err
+	}
+	virtual := w.MaxClock()
+	return Point{
+		Bytes:          b,
+		FoldUnit:       fold,
+		VirtualPs:      int64(virtual),
+		VirtualUsPerOp: (virtual / sim.Time(iters)).Us(),
+	}, nil
+}

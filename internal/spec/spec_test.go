@@ -1,0 +1,315 @@
+package spec_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/coll"
+	"repro/internal/spec"
+)
+
+func TestParseTuningGrammar(t *testing.T) {
+	tun, err := spec.ParseTuning("policy=cost, allreduce=rabenseifner ,barrier=central")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tun.Policy != "cost" {
+		t.Errorf("policy = %q", tun.Policy)
+	}
+	if tun.Force["allreduce"] != "rabenseifner" || tun.Force["barrier"] != "central" {
+		t.Errorf("force map = %v", tun.Force)
+	}
+	if tun, err := spec.ParseTuning(""); err != nil || tun.Policy != "table" || tun.Force != nil {
+		t.Errorf("empty spec: %+v %v", tun, err)
+	}
+	for _, bad := range []string{"policy=fast", "allgather=quantum", "warp=9", "nokey", "sharedlevel="} {
+		if _, err := spec.ParseTuning(bad); err == nil {
+			t.Errorf("ParseTuning(%q) accepted", bad)
+		}
+	}
+}
+
+// TestTuningRoundTrip is the re-homing guarantee: parse -> render ->
+// parse is the identity, and the rendered form is canonical.
+func TestTuningRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"policy=table",
+		"policy=cost",
+		"policy=cost,allreduce=rabenseifner,barrier=central",
+		"sharedlevel=socket,gather=linear,scan=linear",
+		"bcast=binomial,policy=cost,sharedlevel=numa",
+	} {
+		tun, err := spec.ParseTuning(s)
+		if err != nil {
+			t.Fatalf("ParseTuning(%q): %v", s, err)
+		}
+		rendered := tun.Spec()
+		again, err := spec.ParseTuning(rendered)
+		if err != nil {
+			t.Fatalf("ParseTuning(render(%q) = %q): %v", s, rendered, err)
+		}
+		if again.Spec() != rendered {
+			t.Errorf("round trip of %q: %q != %q", s, again.Spec(), rendered)
+		}
+	}
+}
+
+// TestTuningCollConversion checks the declarative <-> runtime
+// conversion both ways.
+func TestTuningCollConversion(t *testing.T) {
+	tun, err := spec.ParseTuning("policy=cost,allreduce=rabenseifner,sharedlevel=socket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := tun.Coll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Policy != coll.PolicyCost || ct.Force[coll.CollAllreduce] != "rabenseifner" || ct.SharedLevel != "socket" {
+		t.Fatalf("converted %+v", ct)
+	}
+	back := spec.TuningFromColl(ct)
+	if back.Spec() != tun.Spec() {
+		t.Errorf("round trip through coll.Tuning: %q != %q", back.Spec(), tun.Spec())
+	}
+}
+
+func FuzzParseTuning(f *testing.F) {
+	f.Add("policy=cost,allreduce=rabenseifner")
+	f.Add("sharedlevel=socket")
+	f.Add("policy=table,barrier=central,bcast=binomial")
+	f.Add("")
+	f.Add("warp=9")
+	f.Fuzz(func(t *testing.T, s string) {
+		tun, err := spec.ParseTuning(s)
+		if err != nil {
+			return
+		}
+		rendered := tun.Spec()
+		again, err := spec.ParseTuning(rendered)
+		if err != nil {
+			t.Fatalf("render of accepted spec %q rejected: %q: %v", s, rendered, err)
+		}
+		if again.Spec() != rendered {
+			t.Fatalf("render not a fixed point: %q -> %q -> %q", s, rendered, again.Spec())
+		}
+	})
+}
+
+const pointQuery = `{
+  "machine": "laptop",
+  "topology": {"nodes": 2, "ppn": 2},
+  "collective": "allreduce",
+  "sizes": [64, 8, 64],
+  "tuning": {"policy": "cost"}
+}`
+
+// TestQueryCanonicalIdempotent: canonicalize∘parse is idempotent, the
+// ladder is sorted and deduplicated, and defaults are explicit.
+func TestQueryCanonicalIdempotent(t *testing.T) {
+	q, err := spec.Parse([]byte(pointQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Sizes; len(got) != 2 || got[0] != 8 || got[1] != 64 {
+		t.Fatalf("ladder not sorted+deduped: %v", got)
+	}
+	if q.Engine != "goroutine" || q.Fold != "auto" || q.Iters != 1 || q.Tuning.Policy != "cost" {
+		t.Fatalf("defaults not explicit: %+v", q)
+	}
+	if q.Topology.Nodes != 0 || q.Topology.PPN != 0 || q.Topology.PerLeaf != 2 {
+		t.Fatalf("shorthand not canonicalized: %+v", q.Topology)
+	}
+	first, err := q.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := spec.Parse(first)
+	if err != nil {
+		t.Fatalf("canonical JSON rejected: %v", err)
+	}
+	second, err := q2.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("canonicalize not idempotent:\n%s\n%s", first, second)
+	}
+}
+
+// TestFingerprintInvariance: equivalent declarations fingerprint
+// identically, different runs differently.
+func TestFingerprintInvariance(t *testing.T) {
+	fp := func(s string) string {
+		q, err := spec.Parse([]byte(s))
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		f, err := q.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a := fp(`{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8]}`)
+	b := fp(`{"machine":"laptop","topology":{"per_leaf":2,"levels":[{"name":"node","arity":2}]},
+	          "collective":"bcast","sizes":[8],"engine":"goroutine","fold":"auto","iters":1,
+	          "tuning":{"policy":"table"}}`)
+	if a != b {
+		t.Errorf("equivalent queries fingerprint differently: %s vs %s", a, b)
+	}
+	c := fp(`{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[16]}`)
+	if a == c {
+		t.Errorf("different ladders share a fingerprint")
+	}
+}
+
+func TestQueryRejections(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":       `{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8],"warp":9}`,
+		"unknown machine":     `{"machine":"cray-3","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8]}`,
+		"no machine":          `{"topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8]}`,
+		"empty topology":      `{"machine":"laptop","topology":{},"collective":"bcast","sizes":[8]}`,
+		"both topology forms": `{"machine":"laptop","topology":{"nodes":2,"ppn":2,"per_leaf":2,"levels":[{"name":"node","arity":2}]},"collective":"bcast","sizes":[8]}`,
+		"no node level":       `{"machine":"laptop","topology":{"per_leaf":2,"levels":[{"name":"socket","arity":2}]},"collective":"bcast","sizes":[8]}`,
+		"unknown collective":  `{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"warpgather","sizes":[8]}`,
+		"neighbor collective": `{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"neighboralltoall","sizes":[8]}`,
+		"empty ladder":        `{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[]}`,
+		"negative size":       `{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[-8]}`,
+		"bad engine":          `{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8],"engine":"warp"}`,
+		"bad fold":            `{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8],"fold":"-3"}`,
+		"bad policy":          `{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8],"tuning":{"policy":"fast"}}`,
+		"trailing data":       `{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8]} {}`,
+	}
+	for name, body := range cases {
+		if _, err := spec.Parse([]byte(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func FuzzParseQuery(f *testing.F) {
+	f.Add([]byte(pointQuery))
+	f.Add([]byte(`{"machine":"laptop","topology":{"per_leaf":2,"levels":[{"name":"socket","arity":2},{"name":"node","arity":2}]},"collective":"allgather","sizes":[8,64],"engine":"event"}`))
+	f.Add([]byte(`{"machine":"hazelhen-cray","topology":{"nodes":4,"ppn":4},"collective":"barrier","sizes":[1]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := spec.Parse(data)
+		if err != nil {
+			return
+		}
+		first, err := q.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("accepted query cannot canonicalize: %v", err)
+		}
+		q2, err := spec.Parse(first)
+		if err != nil {
+			t.Fatalf("canonical JSON of accepted query rejected: %s: %v", first, err)
+		}
+		second, err := q2.CanonicalJSON()
+		if err != nil || !bytes.Equal(first, second) {
+			t.Fatalf("canonicalize not idempotent:\n%s\n%s (%v)", first, second, err)
+		}
+	})
+}
+
+// TestRunEnginesBitIdentical executes the same Query on both backends
+// and demands bit-identical virtual times — the spec-level form of the
+// cross-engine contract.
+func TestRunEnginesBitIdentical(t *testing.T) {
+	for _, collective := range []string{"allgather", "allreduce", "bcast", "barrier", "alltoall", "gather", "scan", "reduce", "allgatherv"} {
+		base := `{"machine":"laptop","topology":{"nodes":2,"ppn":4},"collective":"` + collective + `","sizes":[8,4096],"iters":2`
+		qg, err := spec.Parse([]byte(base + `}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qe, err := spec.Parse([]byte(base + `,"engine":"event"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := spec.Run(qg)
+		if err != nil {
+			t.Fatalf("%s goroutine: %v", collective, err)
+		}
+		re, err := spec.Run(qe)
+		if err != nil {
+			t.Fatalf("%s event: %v", collective, err)
+		}
+		if len(rg.Points) != len(re.Points) {
+			t.Fatalf("%s: point count %d vs %d", collective, len(rg.Points), len(re.Points))
+		}
+		for i := range rg.Points {
+			if rg.Points[i].VirtualPs != re.Points[i].VirtualPs {
+				t.Errorf("%s at %d B: goroutine %d ps, event %d ps",
+					collective, rg.Points[i].Bytes, rg.Points[i].VirtualPs, re.Points[i].VirtualPs)
+			}
+			if rg.Points[i].VirtualPs <= 0 {
+				t.Errorf("%s at %d B: non-positive virtual time", collective, rg.Points[i].Bytes)
+			}
+		}
+	}
+}
+
+// TestRunDeterministic: the same Query run twice is bit-identical.
+func TestRunDeterministic(t *testing.T) {
+	run := func() *spec.Result {
+		q, err := spec.Parse([]byte(pointQuery))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := spec.Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Errorf("point %d differs across runs: %+v vs %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	q, err := spec.Parse([]byte(pointQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := spec.RunContext(ctx, q); err == nil || !strings.Contains(err.Error(), "cancel") {
+		t.Errorf("cancelled run returned %v", err)
+	}
+}
+
+func TestPrice(t *testing.T) {
+	q, err := spec.Parse([]byte(`{"machine":"hazelhen-cray","topology":{"nodes":8,"ppn":8},
+		"collective":"allgather","sizes":[64,1048576],"tuning":{"policy":"cost"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := spec.Price(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ranks != 64 || rep.Policy != "cost" || len(rep.Points) != 2 {
+		t.Fatalf("report %+v", rep)
+	}
+	for _, pt := range rep.Points {
+		if pt.Chosen == "" || len(pt.Candidates) == 0 {
+			t.Fatalf("point %+v has no selection", pt)
+		}
+		var est float64
+		for _, c := range pt.Candidates {
+			if c.Name == pt.Chosen {
+				est = c.EstUs
+			}
+		}
+		if est <= 0 {
+			t.Errorf("chosen %q at %d B has no positive estimate", pt.Chosen, pt.Bytes)
+		}
+	}
+}
