@@ -38,6 +38,9 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent point queries (0 = GOMAXPROCS)")
 	sweepWorkers := flag.Int("sweep-workers", 0, "max concurrent sweep queries (0 = workers/4)")
 	cacheEntries := flag.Int("cache", 0, "result cache capacity (0 = default 4096)")
+	maxRanks := flag.Int("max-ranks", 0, "admission cap on a query's world size (0 = default 2^20)")
+	maxGoroutineRanks := flag.Int("max-goroutine-ranks", 0, "tighter world-size cap for goroutine-engine queries (0 = default 2^16)")
+	maxWork := flag.Int64("max-work", 0, "admission cap on ranks x sizes x iters per query (0 = default 2^28)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request execution budget")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -52,11 +55,14 @@ func main() {
 	slog.SetDefault(logger)
 
 	svc := server.New(server.Config{
-		Workers:      *workers,
-		SweepWorkers: *sweepWorkers,
-		CacheEntries: *cacheEntries,
-		Timeout:      *timeout,
-		Logger:       logger,
+		Workers:           *workers,
+		SweepWorkers:      *sweepWorkers,
+		CacheEntries:      *cacheEntries,
+		MaxRanks:          *maxRanks,
+		MaxGoroutineRanks: *maxGoroutineRanks,
+		MaxWork:           *maxWork,
+		Timeout:           *timeout,
+		Logger:            logger,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -44,7 +44,9 @@ func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
 
 // finish publishes the leader's outcome and wakes every follower. The
 // key is deregistered first, so a request arriving after finish starts
-// a fresh flight (it will hit the result cache instead).
+// a fresh flight; the leader must therefore cache a successful result
+// BEFORE calling finish (Server.lead does), so post-finish arrivals
+// hit the cache instead of re-executing.
 func (g *flightGroup) finish(key string, c *flightCall, val any, err error) {
 	g.mu.Lock()
 	delete(g.m, key)

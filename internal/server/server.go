@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/mpi"
+	"repro/internal/sim"
 	"repro/internal/spec"
 )
 
@@ -63,6 +64,19 @@ type Config struct {
 	SweepRanks int
 	// CacheEntries is the result-cache capacity (default 4096).
 	CacheEntries int
+	// MaxRanks caps the world size one request may declare; bigger
+	// queries answer 413 before anything is built (default 1<<20,
+	// far below spec's own arithmetic backstop). This is the
+	// service-level admission cap the spec package documents as the
+	// service layer's responsibility.
+	MaxRanks int
+	// MaxGoroutineRanks is the tighter cap for goroutine-engine
+	// queries, which spawn one worker goroutine per rank (default
+	// 1<<16). Event-engine queries are bounded by MaxRanks alone.
+	MaxGoroutineRanks int
+	// MaxWork caps ranks x ladder length x iters — the total
+	// simulated work one request may demand (default 1<<28).
+	MaxWork int64
 	// Timeout is the per-request execution budget; expiry aborts the
 	// world and returns 504 (default 60s).
 	Timeout time.Duration
@@ -106,6 +120,15 @@ func New(cfg Config) *Server {
 	}
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 4096
+	}
+	if cfg.MaxRanks <= 0 {
+		cfg.MaxRanks = 1 << 20
+	}
+	if cfg.MaxGoroutineRanks <= 0 {
+		cfg.MaxGoroutineRanks = 1 << 16
+	}
+	if cfg.MaxWork <= 0 {
+		cfg.MaxWork = 1 << 28
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 60 * time.Second
@@ -218,7 +241,8 @@ func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }
 
-// readQuery strictly decodes the request body into a canonical Query.
+// readQuery strictly decodes the request body into a canonical Query
+// and applies the service admission caps.
 func (s *Server) readQuery(w http.ResponseWriter, r *http.Request) (*spec.Query, error) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
@@ -228,7 +252,34 @@ func (s *Server) readQuery(w http.ResponseWriter, r *http.Request) (*spec.Query,
 	if err != nil {
 		return nil, &httpError{http.StatusBadRequest, err}
 	}
+	if err := s.admit(q); err != nil {
+		return nil, err
+	}
 	return q, nil
+}
+
+// admit applies the service-level resource caps that spec's own
+// validation deliberately leaves to this layer: world size (with a
+// tighter bound for the goroutine engine, whose worlds cost one
+// worker goroutine per rank) and total work across the ladder.
+// Violations answer 413 — the query is well-formed, just bigger than
+// this daemon accepts.
+func (s *Server) admit(q *spec.Query) error {
+	ranks := q.Topology.Ranks()
+	if ranks > s.cfg.MaxRanks {
+		return &httpError{http.StatusRequestEntityTooLarge,
+			fmt.Errorf("server: query declares %d ranks, above this server's %d-rank cap", ranks, s.cfg.MaxRanks)}
+	}
+	if q.Engine == sim.EngineGoroutine.String() && ranks > s.cfg.MaxGoroutineRanks {
+		return &httpError{http.StatusRequestEntityTooLarge,
+			fmt.Errorf("server: goroutine-engine query declares %d ranks, above this server's %d-rank cap (the event engine accepts up to %d)",
+				ranks, s.cfg.MaxGoroutineRanks, s.cfg.MaxRanks)}
+	}
+	if work := int64(ranks) * int64(len(q.Sizes)) * int64(q.Iters); work > s.cfg.MaxWork {
+		return &httpError{http.StatusRequestEntityTooLarge,
+			fmt.Errorf("server: query demands %d rank-operations (ranks x sizes x iters), above this server's %d cap", work, s.cfg.MaxWork)}
+	}
+	return nil
 }
 
 // sweepClass reports whether the query competes for the sweep pool:
@@ -288,15 +339,34 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.met.cacheMiss.Add(1)
-	res, err := s.execute(q)
-	s.flight.finish(fp, call, res, err)
+	res, err := s.lead(fp, call, q)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	s.cache.add("run:"+fp, res)
 	w.Header().Set("X-Cache", "miss")
 	writeJSON(w, http.StatusOK, res)
+}
+
+// lead executes the query as the flight leader. finish is guaranteed
+// even on panic: net/http recovers handler panics, and a leader that
+// never finished would park every future identical query forever — so
+// a panic publishes an error to the followers before propagating. On
+// success the result enters the cache before finish deregisters the
+// flight, so a request arriving after the flight window hits the
+// cache instead of becoming a fresh leader.
+func (s *Server) lead(fp string, call *flightCall, q *spec.Query) (res *spec.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.flight.finish(fp, call, nil, fmt.Errorf("server: panic during execution: %v", p))
+			panic(p)
+		}
+		if err == nil {
+			s.cache.add("run:"+fp, res)
+		}
+		s.flight.finish(fp, call, res, err)
+	}()
+	return s.execute(q)
 }
 
 // execute runs the query under the worker pools and the configured

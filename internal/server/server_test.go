@@ -282,3 +282,44 @@ func jsonUnmarshalStrict(data []byte, v any) error {
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
 }
+
+// TestAdmissionCaps: one well-formed request must not be able to OOM
+// the daemon — the service rejects worlds above MaxRanks, goroutine
+// worlds above the tighter MaxGoroutineRanks, and ranks x sizes x
+// iters above MaxWork with 413 before anything is built.
+func TestAdmissionCaps(t *testing.T) {
+	srv := server.New(server.Config{
+		Workers: 2, SweepWorkers: 1,
+		MaxRanks:          1 << 12,
+		MaxGoroutineRanks: 64,
+		MaxWork:           1 << 16,
+		Timeout:           30 * time.Second,
+		Logger:            quietLogger(),
+	})
+	defer srv.Close()
+	reject := []struct{ name, path, body string }{
+		{"ranks over cap", "/v1/run",
+			`{"machine":"laptop","topology":{"nodes":1024,"ppn":16},"collective":"bcast","sizes":[8],"engine":"event"}`},
+		{"goroutine ranks over goroutine cap", "/v1/run",
+			`{"machine":"laptop","topology":{"nodes":16,"ppn":8},"collective":"bcast","sizes":[8]}`},
+		{"work over cap", "/v1/run",
+			`{"machine":"laptop","topology":{"nodes":8,"ppn":8},"collective":"bcast","sizes":[8],"iters":2048,"engine":"event"}`},
+		{"price shares the caps", "/v1/price",
+			`{"machine":"laptop","topology":{"nodes":1024,"ppn":16},"collective":"bcast","sizes":[8]}`},
+	}
+	for _, tc := range reject {
+		if rec := do(t, srv, "POST", tc.path, tc.body); rec.Code != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: code %d, want 413: %s", tc.name, rec.Code, rec.Body)
+		}
+	}
+	// The same 128-rank world the goroutine engine was refused is fine
+	// on the event engine: the caps are engine-aware, not blanket.
+	eventBody := `{"machine":"laptop","topology":{"nodes":16,"ppn":8},"collective":"bcast","sizes":[8],"engine":"event"}`
+	if rec := do(t, srv, "POST", "/v1/run", eventBody); rec.Code != 200 {
+		t.Errorf("event-engine query within caps: code %d, want 200: %s", rec.Code, rec.Body)
+	}
+	inCap := `{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8]}`
+	if rec := do(t, srv, "POST", "/v1/run", inCap); rec.Code != 200 {
+		t.Errorf("in-cap goroutine query: code %d, want 200: %s", rec.Code, rec.Body)
+	}
+}

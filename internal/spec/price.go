@@ -108,8 +108,10 @@ func Price(q *Query) (*PriceReport, error) {
 	for _, b := range q.Sizes {
 		// Env conventions (see coll.Env): Bytes is the per-rank block
 		// for allgather/alltoall, the total payload otherwise; Count
-		// feeds the reduction gamma term.
-		e := coll.Env{Size: topo.Size(), Bytes: b, Count: b / 8, Model: model, Hop: hop}
+		// feeds the reduction gamma term and uses the same whole-element
+		// floor as the run path, so /v1/price and /v1/run agree on
+		// sub-8-byte ladder entries.
+		e := coll.Env{Size: topo.Size(), Bytes: b, Count: elems(b), Model: model, Hop: hop}
 		pt := PricePoint{Bytes: b}
 		if chosen, err := coll.Choose(cl, e, collTun); err == nil {
 			pt.Chosen = chosen

@@ -72,8 +72,8 @@ func (t *Topology) Canonicalize() error {
 			if l.Name == "" {
 				return fmt.Errorf("spec: topology level %d has no name", i)
 			}
-			if l.Arity <= 0 {
-				return fmt.Errorf("spec: topology level %q needs arity>0, got %d", l.Name, l.Arity)
+			if l.Arity <= 0 || l.Arity > maxRanks {
+				return fmt.Errorf("spec: topology level %q needs arity in [1, %d], got %d", l.Name, maxRanks, l.Arity)
 			}
 			if l.Name == sim.NodeLevelName {
 				node++
@@ -90,17 +90,23 @@ func (t *Topology) Canonicalize() error {
 	default:
 		return fmt.Errorf("spec: topology is empty (give nodes+ppn or per_leaf+levels)")
 	}
-	if r := t.Ranks(); r <= 0 || r > maxRanks {
-		return fmt.Errorf("spec: topology declares %d ranks (max %d)", r, maxRanks)
+	if t.Ranks() <= 0 {
+		return fmt.Errorf("spec: topology declares more than %d ranks", maxRanks)
 	}
 	return nil
 }
 
-// Ranks returns the total rank count of a canonicalized topology.
+// Ranks returns the total rank count of a canonicalized topology, or
+// -1 when the product leaves (0, maxRanks]. Each multiply is
+// overflow-checked against the cap first, so a crafted arity cannot
+// wrap the total back into range.
 func (t *Topology) Ranks() int {
 	total := t.PerLeaf
+	if total <= 0 || total > maxRanks {
+		return -1
+	}
 	for _, l := range t.Levels {
-		if l.Arity <= 0 || total > maxRanks {
+		if l.Arity <= 0 || l.Arity > maxRanks/total {
 			return -1
 		}
 		total *= l.Arity

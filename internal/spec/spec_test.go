@@ -3,10 +3,13 @@ package spec_test
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"math"
 	"strings"
 	"testing"
 
 	"repro/internal/coll"
+	"repro/internal/sim"
 	"repro/internal/spec"
 )
 
@@ -310,6 +313,66 @@ func TestPrice(t *testing.T) {
 		}
 		if est <= 0 {
 			t.Errorf("chosen %q at %d B has no positive estimate", pt.Chosen, pt.Bytes)
+		}
+	}
+}
+
+// TestTopologyRanksOverflow: the maxRanks backstop must survive a
+// crafted level arity whose product wraps the int total back into
+// range (the 1<<27 x (huge) OOM vector) — Ranks multiplies checked,
+// and Canonicalize rejects any arity above the cap outright.
+func TestTopologyRanksOverflow(t *testing.T) {
+	huge := math.MaxInt/(1<<27) + 2 // (1<<27) * huge wraps past MaxInt
+	top := spec.Topology{PerLeaf: 1 << 27, Levels: []spec.Level{{Name: "node", Arity: huge}}}
+	if r := top.Ranks(); r != -1 {
+		t.Errorf("Ranks() = %d on an overflowing stack, want -1", r)
+	}
+	if err := top.Canonicalize(); err == nil {
+		t.Error("Canonicalize accepted an overflowing topology")
+	}
+	body := fmt.Sprintf(`{"machine":"laptop","topology":{"per_leaf":%d,"levels":[{"name":"node","arity":%d}]},
+		"collective":"bcast","sizes":[8]}`, 1<<27, huge)
+	if _, err := spec.Parse([]byte(body)); err == nil {
+		t.Error("Parse accepted a query with an overflowing topology")
+	}
+	// Multi-level wrap with every arity individually modest enough to
+	// pass a naive per-field glance: 2^10 per leaf, levels of 2^10.
+	deep := spec.Topology{PerLeaf: 1 << 10, Levels: []spec.Level{
+		{Name: "socket", Arity: 1 << 10}, {Name: "node", Arity: 1 << 10}, {Name: "rack", Arity: 1 << 10}}}
+	if r := deep.Ranks(); r != -1 {
+		t.Errorf("Ranks() = %d for 2^40 ranks, want -1", r)
+	}
+}
+
+// TestPriceFloorsSubElementSizes pins the price path to the run
+// path's whole-element floor: a sub-8-byte reducing collective is
+// executed with one float64 element, so pricing must feed Count 1
+// (not 0) to the selection engine or /v1/price and /v1/run describe
+// different workloads at the same canonical Query.
+func TestPriceFloorsSubElementSizes(t *testing.T) {
+	q, err := spec.Parse([]byte(`{"machine":"laptop","topology":{"nodes":2,"ppn":2},
+		"collective":"allreduce","sizes":[4]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := spec.Price(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hop != sim.HopNet.String() {
+		t.Fatalf("hop %q, want %q (test assumes a partitioned node level)", rep.Hop, sim.HopNet)
+	}
+	want := coll.Candidates(coll.CollAllreduce,
+		coll.Env{Size: 4, Bytes: 4, Count: 1, Model: sim.Profiles()["laptop"](), Hop: sim.HopNet})
+	got := rep.Points[0].Candidates
+	if len(got) != len(want) {
+		t.Fatalf("%d candidates, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || got[i].Applicable != want[i].Applicable ||
+			got[i].EstUs != want[i].Est.Us() {
+			t.Errorf("candidate %d: got %+v, want {%s %v %v}",
+				i, got[i], want[i].Name, want[i].Applicable, want[i].Est.Us())
 		}
 	}
 }
