@@ -1,0 +1,23 @@
+# Container image for the serverd what-if daemon. Two stages: a Go
+# builder and a minimal runtime. All daemon configuration flows
+# through REPRO_* environment variables (each maps to a serverd flag;
+# see API.md), so the image needs no wrapper script or command-line
+# surgery — `docker run -e REPRO_WORKERS=8 ...` is the whole story.
+FROM golang:1.24-alpine AS build
+WORKDIR /src
+# The module has no external dependencies (go.mod only pins the Go
+# version), so the source tree is the entire build context.
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/serverd ./cmd/serverd
+
+FROM alpine:3.20
+RUN adduser -D -H repro
+COPY --from=build /out/serverd /usr/local/bin/serverd
+USER repro
+EXPOSE 8080
+# Defaults mirror the flag defaults; override per deployment.
+ENV REPRO_ADDR=:8080
+HEALTHCHECK --interval=15s --timeout=3s --start-period=5s \
+  CMD wget -q -O /dev/null http://127.0.0.1:8080/healthz || exit 1
+ENTRYPOINT ["/usr/local/bin/serverd"]

@@ -448,6 +448,14 @@ func printServiceSweep(s *bench.ServiceSweepReport) {
 		fmt.Printf("  %3d clients %7d reqs %10.0f qps  p50 %7.0f us  p99 %7.0f us\n",
 			p.Clients, p.Requests, p.QPS, p.P50Us, p.P99Us)
 	}
+	if c := s.ColdShape; c != nil {
+		fmt.Printf("  cold shape %s (%d distinct queries, pool hit ratio %.3f, pooled/cold bit-identical %v):\n",
+			c.Shape, c.Queries, c.PoolHitRatio, c.BitIdentical)
+		fmt.Printf("    point p50: pooled %7.0f us  per-point %7.0f us  speedup %.2fx\n",
+			c.PooledP50Us, c.PerPointP50Us, c.P50Speedup)
+		fmt.Printf("    %2d-size sweep: pooled %7.1f ms  per-point %7.1f ms  speedup %.2fx\n",
+			c.SweepSizes, c.PooledSweepMs, c.PerPointSweepMs, c.SweepSpeedup)
+	}
 }
 
 // stopCPUProfile flushes the CPU profile (no-op until -cpuprofile

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -56,6 +57,46 @@ type ServiceSweepReport struct {
 	BitIdentical bool `json:"bit_identical_cli_http"`
 	// Points is the concurrency ladder.
 	Points []ServicePoint `json:"points"`
+	// ColdShape is the warm-world-pool phase: distinct fingerprints
+	// sharing one world shape, measured cold against a pooled and a
+	// construct-per-point daemon.
+	ColdShape *ColdShapePhase `json:"cold_shape,omitempty"`
+}
+
+// ColdShapePhase measures the daemon's cold path under the warm world
+// pool: a stream of DISTINCT-fingerprint queries (every one a cache
+// miss) that share one world shape, plus one long-ladder sweep query,
+// each run against a pooled daemon and against a construct-per-point
+// daemon (spec.Exec.PerPointWorlds) — the PR7 behavior. The pooled
+// daemon's responses are also cross-checked bit-identically against
+// direct construct-per-point spec execution.
+type ColdShapePhase struct {
+	// Shape is the common topology of the distinct queries.
+	Shape string `json:"shape"`
+	// Queries is how many distinct-fingerprint point queries ran.
+	Queries int `json:"queries"`
+	// PooledP50Us / PerPointP50Us are the cold per-request latency
+	// medians (host microseconds) with and without the world pool.
+	PooledP50Us   float64 `json:"pooled_p50_us"`
+	PerPointP50Us float64 `json:"per_point_p50_us"`
+	// P50Speedup is PerPointP50Us / PooledP50Us.
+	P50Speedup float64 `json:"p50_speedup"`
+	// SweepSizes is the ladder length of the sweep-query comparison.
+	SweepSizes int `json:"sweep_sizes"`
+	// PooledSweepMs / PerPointSweepMs are the wall-clock costs of one
+	// cold long-ladder sweep query with warm-world groups vs a world
+	// per point.
+	PooledSweepMs   float64 `json:"pooled_sweep_ms"`
+	PerPointSweepMs float64 `json:"per_point_sweep_ms"`
+	// SweepSpeedup is PerPointSweepMs / PooledSweepMs.
+	SweepSpeedup float64 `json:"sweep_speedup"`
+	// PoolHitRatio is the pooled daemon's world-pool hit ratio over
+	// the phase (first checkout per shape misses; the rest must hit).
+	PoolHitRatio float64 `json:"pool_hit_ratio"`
+	// BitIdentical records the in-sweep cross-check: every pooled
+	// response matched construct-per-point execution bit-identically
+	// (virtual_ps on every point).
+	BitIdentical bool `json:"bit_identical_pooled_cold"`
 }
 
 // serviceQuerySet builds the distinct what-if queries the sweep
@@ -218,5 +259,155 @@ func RunServiceSweep(machine string, requestsPerStep int) (*ServiceSweepReport, 
 		rep.CacheHitRatio = float64(hits) / float64(hits+misses)
 	}
 	rep.Coalesced = coalesced
+
+	cold, err := runColdShapePhase(machine)
+	if err != nil {
+		return nil, err
+	}
+	rep.ColdShape = cold
 	return rep, nil
+}
+
+// runColdShapePhase drives the cold-path comparison behind
+// ServiceSweepReport.ColdShape: the same stream of distinct-fingerprint
+// same-shape queries against a pooled daemon and a construct-per-point
+// daemon, then one long-ladder sweep query against each. Every pooled
+// response is cross-checked bit-identically against direct
+// construct-per-point execution, so the speedup numbers can never come
+// from computing something different.
+func runColdShapePhase(machine string) (*ColdShapePhase, error) {
+	const (
+		nodes, ppn = 128, 8
+		nQueries   = 24
+		nSweep     = 16
+	)
+	ph := &ColdShapePhase{
+		Shape:      fmt.Sprintf("%dx%d", nodes, ppn),
+		Queries:    nQueries,
+		SweepSizes: nSweep,
+	}
+	// Fold is pinned off: under "auto" the fold unit can vary with the
+	// message size, which would split the ladder into different world
+	// shapes and understate (or confound) pool reuse.
+	pointQ := func(i int) string {
+		return fmt.Sprintf(
+			`{"machine":%q,"topology":{"nodes":%d,"ppn":%d},"engine":"event","fold":"off","collective":"bcast","sizes":[%d]}`,
+			machine, nodes, ppn, 64+i*16)
+	}
+	sizes := make([]string, nSweep)
+	for i := range sizes {
+		sizes[i] = fmt.Sprintf("%d", 64+i*64)
+	}
+	sweepQ := fmt.Sprintf(
+		`{"machine":%q,"topology":{"nodes":%d,"ppn":%d},"engine":"event","fold":"off","collective":"bcast","sizes":[%s]}`,
+		machine, nodes, ppn, strings.Join(sizes, ","))
+
+	type daemonRun struct {
+		p50Us    float64
+		sweepMs  float64
+		bodies   [][]byte // nQueries point responses, then the sweep response
+		hitRatio float64
+	}
+	drive := func(cfg server.Config) (*daemonRun, error) {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+		svc := server.New(cfg)
+		defer svc.Close()
+		ts := httptest.NewServer(svc)
+		defer ts.Close()
+		client := ts.Client()
+		post := func(body string) ([]byte, error) {
+			resp, err := client.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return nil, err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("bench: cold shape %d: %s", resp.StatusCode, b)
+			}
+			return b, nil
+		}
+		r := &daemonRun{}
+		lat := make([]time.Duration, 0, nQueries)
+		for i := 0; i < nQueries; i++ {
+			t0 := time.Now()
+			b, err := post(pointQ(i))
+			if err != nil {
+				return nil, err
+			}
+			lat = append(lat, time.Since(t0))
+			r.bodies = append(r.bodies, b)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		r.p50Us = float64(lat[len(lat)/2]) / 1e3
+		t0 := time.Now()
+		b, err := post(sweepQ)
+		if err != nil {
+			return nil, err
+		}
+		r.sweepMs = float64(time.Since(t0)) / 1e6
+		r.bodies = append(r.bodies, b)
+		r.hitRatio = svc.PoolStats().HitRatio()
+		return r, nil
+	}
+
+	pooled, err := drive(server.Config{})
+	if err != nil {
+		return nil, err
+	}
+	perPoint, err := drive(server.Config{PerPointWorlds: true})
+	if err != nil {
+		return nil, err
+	}
+
+	ph.PooledP50Us, ph.PerPointP50Us = pooled.p50Us, perPoint.p50Us
+	if pooled.p50Us > 0 {
+		ph.P50Speedup = perPoint.p50Us / pooled.p50Us
+	}
+	ph.PooledSweepMs, ph.PerPointSweepMs = pooled.sweepMs, perPoint.sweepMs
+	if pooled.sweepMs > 0 {
+		ph.SweepSpeedup = perPoint.sweepMs / pooled.sweepMs
+	}
+	ph.PoolHitRatio = pooled.hitRatio
+
+	// Bit-identity referee: every pooled HTTP response, point and
+	// sweep alike, against direct construct-per-point execution.
+	ph.BitIdentical = true
+	referee := &spec.Exec{PerPointWorlds: true}
+	check := func(body []byte, raw string) error {
+		q, err := spec.Parse([]byte(raw))
+		if err != nil {
+			return err
+		}
+		want, err := referee.RunContext(context.Background(), q)
+		if err != nil {
+			return err
+		}
+		var got spec.Result
+		if err := json.Unmarshal(body, &got); err != nil {
+			return err
+		}
+		if len(want.Points) != len(got.Points) {
+			ph.BitIdentical = false
+			return nil
+		}
+		for i := range want.Points {
+			if want.Points[i].VirtualPs != got.Points[i].VirtualPs {
+				ph.BitIdentical = false
+			}
+		}
+		return nil
+	}
+	for i := 0; i < nQueries; i++ {
+		if err := check(pooled.bodies[i], pointQ(i)); err != nil {
+			return nil, err
+		}
+	}
+	if err := check(pooled.bodies[nQueries], sweepQ); err != nil {
+		return nil, err
+	}
+	return ph, nil
 }

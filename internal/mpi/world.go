@@ -91,6 +91,10 @@ func (w *World) Abort() {
 	})
 }
 
+// Closed reports whether Close has run. A closed world cannot Run
+// again; pools holding warm worlds consult it before parking one.
+func (w *World) Closed() bool { return w.closed.Load() }
+
 // Aborted reports whether the job was aborted.
 func (w *World) Aborted() bool {
 	select {
@@ -285,7 +289,12 @@ var ErrClosed = errors.New("mpi: world closed")
 //
 // Run may be called repeatedly on the same World; clocks continue from
 // where the previous Run left them (use ResetClocks between independent
-// measurements). Run on an aborted world fails immediately with
+// measurements). This is the warm-world contract the spec layer's
+// world pool is built on: a world that finished a Run cleanly (no
+// error, no abort) is drained — matcher queues empty, coordinator
+// sessions released — and a ResetClocks+Run cycle on it produces
+// virtual times bit-identical to a freshly constructed world of the
+// same shape. Run on an aborted world fails immediately with
 // ErrAborted (the world stays poisoned), and on a closed world with
 // ErrClosed. Calls must not overlap: a second Run while one is in
 // flight panics.

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/spec"
 )
 
 // latencyBuckets are the fixed upper bounds (seconds) of the request
@@ -55,8 +57,9 @@ func (m *metrics) request(endpoint string, code int, d time.Duration) {
 }
 
 // render writes the Prometheus text exposition of every metric.
-// cacheLen and idleWorkers are sampled by the caller at scrape time.
-func (m *metrics) render(w *strings.Builder, cacheLen, idleWorkers int, pointCap, sweepCap int) {
+// cacheLen, idleWorkers and the world-pool snapshot are sampled by the
+// caller at scrape time.
+func (m *metrics) render(w *strings.Builder, cacheLen, idleWorkers int, pointCap, sweepCap int, ps spec.PoolStats) {
 	fmt.Fprintf(w, "# HELP repro_requests_total Completed HTTP requests by endpoint and status code.\n")
 	fmt.Fprintf(w, "# TYPE repro_requests_total counter\n")
 	m.mu.Lock()
@@ -97,6 +100,25 @@ func (m *metrics) render(w *strings.Builder, cacheLen, idleWorkers int, pointCap
 	fmt.Fprintf(w, "repro_pool_capacity{class=\"sweep\"} %d\n", sweepCap)
 	fmt.Fprintf(w, "# HELP repro_rank_pool_idle_workers Parked simulator rank workers on the cross-world reserve.\n")
 	fmt.Fprintf(w, "# TYPE repro_rank_pool_idle_workers gauge\nrepro_rank_pool_idle_workers %d\n", idleWorkers)
+
+	fmt.Fprintf(w, "# HELP repro_world_pool_hits_total World checkouts served by a resident warm world.\n")
+	fmt.Fprintf(w, "# TYPE repro_world_pool_hits_total counter\nrepro_world_pool_hits_total %d\n", ps.Hits)
+	fmt.Fprintf(w, "# HELP repro_world_pool_misses_total World checkouts that had to build a world.\n")
+	fmt.Fprintf(w, "# TYPE repro_world_pool_misses_total counter\nrepro_world_pool_misses_total %d\n", ps.Misses)
+	fmt.Fprintf(w, "# HELP repro_world_pool_hit_ratio Fraction of world checkouts served warm.\n")
+	fmt.Fprintf(w, "# TYPE repro_world_pool_hit_ratio gauge\nrepro_world_pool_hit_ratio %g\n", ps.HitRatio())
+	fmt.Fprintf(w, "# HELP repro_world_pool_resident_worlds Resident simulated worlds, by state.\n")
+	fmt.Fprintf(w, "# TYPE repro_world_pool_resident_worlds gauge\n")
+	fmt.Fprintf(w, "repro_world_pool_resident_worlds{state=\"idle\"} %d\n", ps.IdleWorlds)
+	fmt.Fprintf(w, "repro_world_pool_resident_worlds{state=\"leased\"} %d\n", ps.Leased)
+	fmt.Fprintf(w, "# HELP repro_world_pool_resident_ranks Rank total across idle resident worlds.\n")
+	fmt.Fprintf(w, "# TYPE repro_world_pool_resident_ranks gauge\nrepro_world_pool_resident_ranks %d\n", ps.IdleRanks)
+	fmt.Fprintf(w, "# HELP repro_world_pool_retired_total Pooled worlds closed, by reason.\n")
+	fmt.Fprintf(w, "# TYPE repro_world_pool_retired_total counter\n")
+	fmt.Fprintf(w, "repro_world_pool_retired_total{reason=\"evicted\"} %d\n", ps.Evicted)
+	fmt.Fprintf(w, "repro_world_pool_retired_total{reason=\"reaped\"} %d\n", ps.Reaped)
+	fmt.Fprintf(w, "repro_world_pool_retired_total{reason=\"recycled\"} %d\n", ps.Recycled)
+	fmt.Fprintf(w, "repro_world_pool_retired_total{reason=\"discarded\"} %d\n", ps.Discarded)
 
 	fmt.Fprintf(w, "# HELP repro_request_seconds Request latency.\n")
 	fmt.Fprintf(w, "# TYPE repro_request_seconds histogram\n")

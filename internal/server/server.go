@@ -19,6 +19,11 @@
 //     (long ladders or large worlds) compete for a small pool while
 //     point queries keep their own slots, so a batch of sweeps cannot
 //     starve interactive what-ifs
+//   - DISTINCT fingerprints that share a world shape (machine,
+//     topology, engine, fold unit, tuning) reuse a resident simulated
+//     world from the spec.WorldPool instead of cold-building one, so
+//     the cold path of a varied query mix stays cheap too — see the
+//     repro_world_pool_* metrics
 //   - each execution runs under the configured timeout; expiry aborts
 //     the in-flight world (every blocked rank wakes) and the client
 //     gets 504
@@ -77,6 +82,24 @@ type Config struct {
 	// MaxWork caps ranks x ladder length x iters — the total
 	// simulated work one request may demand (default 1<<28).
 	MaxWork int64
+	// WorldPoolRanks is the rank budget of the warm world pool: idle
+	// simulated worlds kept resident between queries so distinct
+	// fingerprints sharing a shape skip world construction (default
+	// 1<<20; negative disables pooling entirely).
+	WorldPoolRanks int
+	// WorldPoolIdle is how long a pooled world may sit unused before
+	// the idle reaper closes it (default 60s).
+	WorldPoolIdle time.Duration
+	// GroupParallelism bounds how many ladder groups of one query
+	// execute concurrently, each on its own world (default 4; 1 runs
+	// groups sequentially).
+	GroupParallelism int
+	// PerPointWorlds restores the historical construct-per-point
+	// execution (one world built and closed per ladder point,
+	// bypassing the pool). It exists for the service sweep's
+	// before/after comparison and as the referee configuration in
+	// bit-identity tests; production daemons leave it off.
+	PerPointWorlds bool
 	// Timeout is the per-request execution budget; expiry aborts the
 	// world and returns 504 (default 60s).
 	Timeout time.Duration
@@ -95,6 +118,7 @@ type Server struct {
 	flight  *flightGroup
 	met     *metrics
 	mux     *http.ServeMux
+	exec    spec.Exec     // warm-world execution environment
 	points  chan struct{} // point-class worker slots
 	sweeps  chan struct{} // sweep-class worker slots
 	baseCtx context.Context
@@ -130,6 +154,15 @@ func New(cfg Config) *Server {
 	if cfg.MaxWork <= 0 {
 		cfg.MaxWork = 1 << 28
 	}
+	if cfg.WorldPoolRanks == 0 {
+		cfg.WorldPoolRanks = 1 << 20
+	}
+	if cfg.WorldPoolIdle <= 0 {
+		cfg.WorldPoolIdle = 60 * time.Second
+	}
+	if cfg.GroupParallelism <= 0 {
+		cfg.GroupParallelism = 4
+	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 60 * time.Second
 	}
@@ -151,6 +184,14 @@ func New(cfg Config) *Server {
 		baseCtx: ctx,
 		stop:    stop,
 	}
+	s.exec.Parallelism = cfg.GroupParallelism
+	s.exec.PerPointWorlds = cfg.PerPointWorlds
+	if cfg.WorldPoolRanks > 0 && !cfg.PerPointWorlds {
+		s.exec.Pool = spec.NewWorldPool(spec.PoolConfig{
+			MaxRanks: cfg.WorldPoolRanks,
+			MaxIdle:  cfg.WorldPoolIdle,
+		})
+	}
 	s.mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
 	s.mux.HandleFunc("POST /v1/price", s.instrument("/v1/price", s.handlePrice))
 	s.mux.HandleFunc("POST /v1/canon", s.instrument("/v1/canon", s.handleCanon))
@@ -162,15 +203,30 @@ func New(cfg Config) *Server {
 // ServeHTTP dispatches to the service mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close cancels the server's base context: leaders still simulating
-// abort their worlds and report cancellation. Call after the HTTP host
-// has stopped accepting requests; then drain the rank-worker reserve
-// via mpi.DrainIdleWorkers.
-func (s *Server) Close() { s.stop() }
+// Close cancels the server's base context — leaders still simulating
+// abort their worlds and report cancellation — and retires the warm
+// world pool (its idle reaper goroutine included). Call after the HTTP
+// host has stopped accepting requests; then drain the rank-worker
+// reserve via mpi.DrainIdleWorkers.
+func (s *Server) Close() {
+	s.stop()
+	if s.exec.Pool != nil {
+		s.exec.Pool.Close()
+	}
+}
 
 // Stats reports (cacheHits, cacheMisses, coalesced) — consumed by the
 // service-sweep bench harness and the smoke tests.
 func (s *Server) Stats() (hits, misses, coalesced int64) { return s.met.snapshot() }
+
+// PoolStats snapshots the warm world pool (zero value when pooling is
+// disabled) — consumed by the service-sweep bench harness and tests.
+func (s *Server) PoolStats() spec.PoolStats {
+	if s.exec.Pool == nil {
+		return spec.PoolStats{}
+	}
+	return s.exec.Pool.Stats()
+}
 
 // httpError is an error carrying the status code the handler should
 // answer with.
@@ -385,7 +441,7 @@ func (s *Server) execute(q *spec.Query) (*spec.Result, error) {
 	}
 	busy.Add(1)
 	defer func() { busy.Add(-1); <-pool }()
-	return spec.RunContext(ctx, q)
+	return s.exec.RunContext(ctx, q)
 }
 
 // handlePrice is POST /v1/price: run the selection engine over the
@@ -454,7 +510,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics is GET /metrics: Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var b strings.Builder
-	s.met.render(&b, s.cache.len(), mpi.IdleWorkers(), s.cfg.Workers, s.cfg.SweepWorkers)
+	s.met.render(&b, s.cache.len(), mpi.IdleWorkers(), s.cfg.Workers, s.cfg.SweepWorkers, s.PoolStats())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	io.WriteString(w, b.String()) //nolint:errcheck // client gone is the only failure
 }

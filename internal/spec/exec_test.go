@@ -1,0 +1,126 @@
+package spec_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// allCollectives is every runnable Query collective — the warm-world
+// paths must be refereed against the cold path on all of them.
+var allCollectives = []string{
+	"allgather", "allgatherv", "allreduce", "reduce", "scan",
+	"bcast", "barrier", "alltoall", "gather",
+}
+
+// TestExecWarmPathsBitIdentical is the PR 8 referee: for every
+// collective on both engines, the construct-per-point path
+// (PerPointWorlds — the historical behavior), the warm within-query
+// path (zero Exec), the pooled path and the pooled+parallel path must
+// return bit-identical virtual times. The ladder mixes sizes so the
+// event engine's fold=auto produces multiple fold groups for the
+// foldable collectives, covering group partitioning too.
+func TestExecWarmPathsBitIdentical(t *testing.T) {
+	pool := spec.NewWorldPool(spec.PoolConfig{MaxIdle: -1})
+	defer pool.Close()
+	execs := map[string]*spec.Exec{
+		"perpoint":        {PerPointWorlds: true},
+		"warm":            {},
+		"pooled":          {Pool: pool},
+		"pooled-parallel": {Pool: pool, Parallelism: 4},
+	}
+	for _, collective := range allCollectives {
+		for _, engine := range []string{"", `,"engine":"event"`} {
+			raw := `{"machine":"laptop","topology":{"nodes":2,"ppn":4},"collective":"` +
+				collective + `","sizes":[8,512,4096,65536],"iters":2` + engine + `}`
+			results := map[string]*spec.Result{}
+			for name, e := range execs {
+				q, err := spec.Parse([]byte(raw))
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := e.RunContext(context.Background(), q)
+				if err != nil {
+					t.Fatalf("%s %s %s: %v", collective, engine, name, err)
+				}
+				results[name] = r
+			}
+			ref := results["perpoint"]
+			for name, r := range results {
+				if len(r.Points) != len(ref.Points) {
+					t.Fatalf("%s %s %s: %d points, referee has %d",
+						collective, engine, name, len(r.Points), len(ref.Points))
+				}
+				for i := range ref.Points {
+					if r.Points[i] != ref.Points[i] {
+						t.Errorf("%s %s %s point %d: %+v, referee %+v",
+							collective, engine, name, i, r.Points[i], ref.Points[i])
+					}
+				}
+			}
+		}
+	}
+	// Sanity: the pooled runs actually reused worlds — otherwise the
+	// referee proved nothing about warm state.
+	if s := pool.Stats(); s.Hits == 0 {
+		t.Errorf("pooled executions never hit the pool: %+v", s)
+	}
+}
+
+// TestExecPooledSequenceMatchesCold reruns one query through the SAME
+// pooled world several times: the second and later runs execute on a
+// warm, already-run world and must still match the cold result
+// exactly.
+func TestExecPooledSequenceMatchesCold(t *testing.T) {
+	pool := spec.NewWorldPool(spec.PoolConfig{MaxIdle: -1})
+	defer pool.Close()
+	raw := `{"machine":"laptop","topology":{"nodes":2,"ppn":4},"collective":"allgather","sizes":[64,4096],"iters":3}`
+	cold := func() *spec.Result {
+		q, err := spec.Parse([]byte(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := (&spec.Exec{PerPointWorlds: true}).RunContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}()
+	e := &spec.Exec{Pool: pool}
+	for rerun := 0; rerun < 3; rerun++ {
+		q, err := spec.Parse([]byte(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.RunContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cold.Points {
+			if r.Points[i] != cold.Points[i] {
+				t.Errorf("rerun %d point %d: %+v, cold %+v", rerun, i, r.Points[i], cold.Points[i])
+			}
+		}
+	}
+	if s := pool.Stats(); s.Hits < 2 {
+		t.Errorf("reruns did not reuse the world: %+v", s)
+	}
+}
+
+// TestRunRejectsBadFold pins the satellite fix: a malformed or
+// non-positive fold reaches the caller as an error instead of being
+// silently ignored (the old path ran unfolded as if nothing happened).
+func TestRunRejectsBadFold(t *testing.T) {
+	for _, fold := range []string{"banana", "0", "-4", "1.5"} {
+		q, err := spec.Parse([]byte(
+			`{"machine":"laptop","topology":{"nodes":2,"ppn":4},"collective":"allgather","sizes":[64],"fold":"` + fold + `"}`))
+		if err == nil {
+			_, err = spec.Run(q)
+		}
+		if err == nil || !strings.Contains(err.Error(), "fold") {
+			t.Errorf("fold %q: got %v, want fold error", fold, err)
+		}
+	}
+}

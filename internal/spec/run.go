@@ -2,8 +2,10 @@ package spec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"repro/internal/coll"
 	"repro/internal/mpi"
@@ -183,17 +185,61 @@ func autoFoldUnit(model *sim.CostModel, topo *sim.Topology, cl coll.Collective, 
 	return 0
 }
 
+// Exec is a query execution environment: how worlds are obtained and
+// how much of a ladder runs concurrently. The zero value is the
+// standalone CLI behavior — no cross-query pool, groups run one at a
+// time — and still reuses one warm world across the ladder points of
+// each fold group. Virtual times are bit-identical across every
+// combination of Pool/Parallelism/PerPointWorlds settings; the golden
+// suite and the in-sweep cross-checks referee that.
+type Exec struct {
+	// Pool, when non-nil, keeps worlds resident across queries: ladder
+	// groups check their world out by ShapeKey and return it when the
+	// group finishes, so distinct fingerprints sharing a shape skip
+	// world construction entirely.
+	Pool *WorldPool
+	// Parallelism bounds how many ladder groups of one query execute
+	// concurrently (each group owns its own world). <= 1 runs groups
+	// sequentially. Points keep their deterministic ascending-size
+	// order in the Result either way.
+	Parallelism int
+	// PerPointWorlds restores the historical construct-per-point path:
+	// every ladder point builds and closes its own world, bypassing
+	// Pool. It is the referee configuration the warm paths are
+	// bit-compared against (and the baseline the service sweep's cold
+	// phase measures speedup over).
+	PerPointWorlds bool
+}
+
 // Run executes the query and returns its Result. The query is
 // canonicalized in place.
 func Run(q *Query) (*Result, error) { return RunContext(context.Background(), q) }
 
-// RunContext is Run with cancellation: when ctx is cancelled the
-// in-flight world is aborted (every blocked rank wakes with an error)
-// and the context's error is returned. One world is built per ladder
-// size — construction is cheap against the interned topology and
-// geometry caches — and closed before the next, so a finished run
-// holds no rank-pool goroutines.
+// RunContext is Run with cancellation, on the zero Exec environment:
+// no cross-query pool, sequential groups, warm worlds within each
+// group.
 func RunContext(ctx context.Context, q *Query) (*Result, error) {
+	return (&Exec{}).RunContext(ctx, q)
+}
+
+// pointGroup is one warm-world unit of a ladder: the indices of every
+// point sharing (engine, fold unit), in ascending-size order.
+type pointGroup struct {
+	fold int
+	idx  []int
+}
+
+// RunContext executes the query and returns its Result; the query is
+// canonicalized in place. Ladder points are grouped by fold unit (the
+// engine is fixed per query, so the fold unit is the only shape
+// divergence inside one ladder) and each group runs on ONE world —
+// checked out of the pool when the environment has one, built
+// otherwise — with ResetClocks between points instead of a
+// construct/close per point. Groups execute concurrently up to
+// Parallelism. When ctx is cancelled every in-flight world is aborted
+// (each blocked rank wakes with an error) and the context's error is
+// returned.
+func (e *Exec) RunContext(ctx context.Context, q *Query) (*Result, error) {
 	if err := q.Canonicalize(); err != nil {
 		return nil, err
 	}
@@ -226,6 +272,25 @@ func RunContext(ctx context.Context, q *Query) (*Result, error) {
 		return nil, err
 	}
 
+	// Resolve every point's fold unit up front: the grouping key.
+	folds := make([]int, len(q.Sizes))
+	for i, b := range q.Sizes {
+		switch q.Fold {
+		case "off":
+		case "auto":
+			if engine == sim.EngineEvent {
+				folds[i] = autoFoldUnit(model, topo, cl, b, collTun)
+			}
+		default:
+			u, err := strconv.Atoi(q.Fold)
+			if err != nil || u <= 0 {
+				return nil, fmt.Errorf("spec: fold %q is not auto, off or a positive unit", q.Fold)
+			}
+			folds[i] = u
+		}
+	}
+	groups := groupByFold(folds)
+
 	res := &Result{
 		Fingerprint: fp,
 		Machine:     q.Machine,
@@ -236,62 +301,203 @@ func RunContext(ctx context.Context, q *Query) (*Result, error) {
 		Iters:       q.Iters,
 		Tuning:      q.Tuning.Spec(),
 	}
-	for _, b := range q.Sizes {
-		fold := 0
-		switch q.Fold {
-		case "off":
-		case "auto":
-			if engine == sim.EngineEvent {
-				fold = autoFoldUnit(model, topo, cl, b, collTun)
-			}
-		default:
-			fold, _ = strconv.Atoi(q.Fold)
-		}
-		pt, err := runPoint(ctx, model, topo, engine, fold, collTun, body, b, q.Iters)
-		if err != nil {
-			return nil, fmt.Errorf("spec: %s at %d B: %w", q.Collective, b, err)
-		}
-		res.Points = append(res.Points, pt)
+	env := groupEnv{
+		exec: e, model: model, topo: topo, engine: engine,
+		tun: collTun, body: body, machine: q.Machine,
+		tuning: q.Tuning.Spec(), sizes: q.Sizes, iters: q.Iters,
 	}
+	points := make([]Point, len(q.Sizes))
+	if err := e.runGroups(ctx, env, groups, points); err != nil {
+		return nil, fmt.Errorf("spec: %s: %w", q.Collective, err)
+	}
+	res.Points = points
 	return res, nil
 }
 
-// runPoint builds one world and executes one ladder point on it.
-func runPoint(ctx context.Context, model *sim.CostModel, topo *sim.Topology, engine sim.Engine,
-	fold int, tun coll.Tuning, body runBody, b, iters int) (Point, error) {
-	w, err := mpi.NewWorldConfig(model, topo, mpi.Config{
-		Engine:     engine,
-		FoldUnit:   fold,
-		CollConfig: tun,
-	})
-	if err != nil {
-		return Point{}, err
+// groupByFold partitions ladder indices by fold unit, groups ordered
+// by first appearance in the ascending-size ladder, indices ascending
+// within each group — fully deterministic, so a parallel run fills the
+// same Points slots as a sequential one.
+func groupByFold(folds []int) []pointGroup {
+	var groups []pointGroup
+	at := map[int]int{}
+	for i, f := range folds {
+		gi, ok := at[f]
+		if !ok {
+			gi = len(groups)
+			at[f] = gi
+			groups = append(groups, pointGroup{fold: f})
+		}
+		groups[gi].idx = append(groups[gi].idx, i)
 	}
-	defer w.Close()
+	return groups
+}
+
+// groupEnv carries the compiled query pieces every group shares.
+type groupEnv struct {
+	exec    *Exec
+	model   *sim.CostModel
+	topo    *sim.Topology
+	engine  sim.Engine
+	tun     coll.Tuning
+	body    runBody
+	machine string
+	tuning  string
+	sizes   []int
+	iters   int
+}
+
+// runGroups executes every group, sequentially or bounded-parallel,
+// and fills points (indexed like the ladder). The first failure wins;
+// a shared cancel aborts the remaining groups' worlds so a sweep does
+// not keep simulating past a dead point.
+func (e *Exec) runGroups(ctx context.Context, env groupEnv, groups []pointGroup, points []Point) error {
+	par := e.Parallelism
+	if par <= 1 || len(groups) == 1 {
+		for _, g := range groups {
+			if err := runGroup(ctx, env, g, points); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, par)
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for gi, g := range groups {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(gi int, g pointGroup) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if errs[gi] = runGroup(gctx, env, g, points); errs[gi] != nil {
+				cancel()
+			}
+		}(gi, g)
+	}
+	wg.Wait()
+	// Prefer the original failure over the cancellations it induced in
+	// sibling groups; if every group reports cancellation (the outer
+	// ctx died), the first one stands.
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	return first
+}
+
+// runGroup executes one fold group on one warm world: checkout (or
+// build), then ResetClocks+Run per ladder point, then check-in. A
+// cancelled ctx aborts the world mid-Run; an aborted or failed world
+// is never returned to the pool. With PerPointWorlds the group instead
+// builds and closes a fresh world per point — the referee path.
+func runGroup(ctx context.Context, env groupEnv, g pointGroup, points []Point) error {
+	if env.exec.PerPointWorlds {
+		for _, i := range g.idx {
+			w, err := buildWorld(env, g.fold)
+			if err != nil {
+				return err
+			}
+			err = runPointOn(ctx, w, env, g.fold, i, points)
+			w.Close()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		w   *mpi.World
+		pw  *PooledWorld
+		err error
+	)
+	if pool := env.exec.Pool; pool != nil {
+		key := ShapeKey{
+			Machine: env.machine, Topo: env.topo, Engine: env.engine,
+			FoldUnit: g.fold, Tuning: env.tuning,
+		}
+		pw, err = pool.Checkout(key, func() (*mpi.World, error) { return buildWorld(env, g.fold) })
+		if err != nil {
+			return err
+		}
+		w = pw.W
+		// Checkin inspects the world: an abort (cancellation, rank
+		// failure) poisons it, and poisoned worlds are discarded, so
+		// error paths need no special-casing here.
+		defer pool.Checkin(pw)
+	} else {
+		if w, err = buildWorld(env, g.fold); err != nil {
+			return err
+		}
+		defer w.Close()
+	}
+
+	for _, i := range g.idx {
+		if err := runPointOn(ctx, w, env, g.fold, i, points); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildWorld constructs the group's world.
+func buildWorld(env groupEnv, fold int) (*mpi.World, error) {
+	return mpi.NewWorldConfig(env.model, env.topo, mpi.Config{
+		Engine:     env.engine,
+		FoldUnit:   fold,
+		CollConfig: env.tun,
+	})
+}
+
+// runPointOn executes ladder point i on the (possibly warm) world w
+// and stores its Point. Clocks are reset first, so the measurement is
+// independent of whatever ran on w before — the bit-identity
+// guarantee against a cold world.
+func runPointOn(ctx context.Context, w *mpi.World, env groupEnv, fold, i int, points []Point) error {
+	b := env.sizes[i]
 
 	// Cancellation: an expired context aborts the world, waking every
-	// blocked rank. The watcher is released before Close.
+	// blocked rank. The watcher must be fully retired (not merely
+	// signalled) before the world can be reused or checked in — a
+	// straggling Abort after a clean Run would poison a parked world —
+	// hence the done handshake.
 	stop := make(chan struct{})
-	defer close(stop)
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		select {
 		case <-ctx.Done():
 			w.Abort()
 		case <-stop:
 		}
 	}()
-
-	if err := w.Run(func(p *mpi.Proc) error { return body(p, b, iters) }); err != nil {
+	w.ResetClocks()
+	err := w.Run(func(p *mpi.Proc) error { return env.body(p, b, env.iters) })
+	close(stop)
+	<-done
+	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return Point{}, fmt.Errorf("run cancelled: %w", ctxErr)
+			return fmt.Errorf("at %d B: run cancelled: %w", b, ctxErr)
 		}
-		return Point{}, err
+		return fmt.Errorf("at %d B: %w", b, err)
 	}
 	virtual := w.MaxClock()
-	return Point{
+	points[i] = Point{
 		Bytes:          b,
 		FoldUnit:       fold,
 		VirtualPs:      int64(virtual),
-		VirtualUsPerOp: (virtual / sim.Time(iters)).Us(),
-	}, nil
+		VirtualUsPerOp: (virtual / sim.Time(env.iters)).Us(),
+	}
+	return nil
 }
