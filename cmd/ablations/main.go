@@ -8,7 +8,10 @@
 //   - pure allgather algorithm family at fixed shape;
 //   - chunked ("pipelined", [30]) vs plain bridge exchange — a negative
 //     result under a LogGP model (see EXPERIMENTS.md);
-//   - barrier algorithms (dissemination vs central counter).
+//   - barrier algorithms (dissemination vs central counter);
+//   - deterministic noise drift: how far seeded jitter, stragglers and
+//     congestion move an allreduce makespan off the clean timeline,
+//     and how much it varies across seeds.
 package main
 
 import (
@@ -36,7 +39,8 @@ func main() {
 		os.Exit(1)
 	}
 	for _, f := range []func(*sim.CostModel) error{
-		syncFlavors, leaderCounts, allgatherAlgos, pipelined, barriers, npbKernels,
+		syncFlavors, leaderCounts, allgatherAlgos, pipelined, barriers, npbKernels, noiseDrift,
+		noiseSelection,
 	} {
 		if err := f(mk()); err != nil {
 			fmt.Fprintln(os.Stderr, "ablations:", err)
@@ -223,6 +227,207 @@ func npbKernels(model *sim.CostModel) error {
 		t.AddRow(kernel.String(),
 			fmt.Sprintf("%.2f", times[0].Ms()), fmt.Sprintf("%.2f", times[1].Ms()),
 			fmt.Sprintf("%.2f", float64(times[0])/float64(times[1])))
+	}
+	return t.Fprint(os.Stdout)
+}
+
+func noiseDrift(model *sim.CostModel) error {
+	t := &bench.Table{
+		Name:   "Ablation: deterministic noise drift (8 nodes x 8 ranks, 4096-elem allreduce, us per op)",
+		Note:   "Seeded noise moves the timeline off the clean run; per-seed spread (5 seeds) is the\nsensitivity any clean-machine tuning decision is exposed to under perturbation.",
+		Header: []string{"noise", "mean_us", "min_us", "max_us", "drift_vs_clean", "seed_spread"},
+	}
+	const elems, iters = 4096, 2
+	levels := []struct {
+		label string
+		mk    func(seed int64) *sim.Noise
+	}{
+		{"clean", func(int64) *sim.Noise { return nil }},
+		{"jitter=0.1", func(seed int64) *sim.Noise {
+			return &sim.Noise{Seed: seed, Jitter: 0.1}
+		}},
+		{"jitter=0.3", func(seed int64) *sim.Noise {
+			return &sim.Noise{Seed: seed, Jitter: 0.3}
+		}},
+		{"straggler x4", func(seed int64) *sim.Noise {
+			return &sim.Noise{Seed: seed, Stragglers: []int{0}, StragglerFactor: 4}
+		}},
+		{"mixed", func(seed int64) *sim.Noise {
+			return &sim.Noise{Seed: seed, Jitter: 0.2, Stragglers: []int{0}, StragglerFactor: 2,
+				Congestion: map[sim.HopClass]float64{sim.HopNet: 2}}
+		}},
+	}
+	measure := func(n *sim.Noise) (sim.Time, error) {
+		topo, err := sim.Uniform(8, 8)
+		if err != nil {
+			return 0, err
+		}
+		w, err := mpi.NewWorld(model, topo, mpi.WithNoise(n))
+		if err != nil {
+			return 0, err
+		}
+		defer w.Close()
+		err = w.Run(func(p *mpi.Proc) error {
+			c := p.CommWorld()
+			send, recv := mpi.Sized(elems*8), mpi.Sized(elems*8)
+			for i := 0; i < iters; i++ {
+				if err := coll.Allreduce(c, send, recv, elems, mpi.Float64, mpi.OpSum); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return w.MaxClock() / iters, nil
+	}
+	var clean float64
+	for _, lvl := range levels {
+		seeds := []int64{1, 2, 3, 4, 5}
+		if lvl.label == "clean" {
+			seeds = seeds[:1] // seeds only key noise draws
+		}
+		var lats []float64
+		for _, seed := range seeds {
+			lat, err := measure(lvl.mk(seed))
+			if err != nil {
+				return fmt.Errorf("noise drift %q seed %d: %w", lvl.label, seed, err)
+			}
+			lats = append(lats, lat.Us())
+		}
+		minL, maxL, sum := lats[0], lats[0], 0.0
+		for _, l := range lats {
+			if l < minL {
+				minL = l
+			}
+			if l > maxL {
+				maxL = l
+			}
+			sum += l
+		}
+		mean := sum / float64(len(lats))
+		if lvl.label == "clean" {
+			clean = mean
+		}
+		t.AddRow(lvl.label,
+			fmt.Sprintf("%.2f", mean), fmt.Sprintf("%.2f", minL), fmt.Sprintf("%.2f", maxL),
+			fmt.Sprintf("%+.1f%%", (mean/clean-1)*100),
+			fmt.Sprintf("%.1f%%", (maxL-minL)/mean*100))
+	}
+	return t.Fprint(os.Stdout)
+}
+
+// noiseSelection answers the ROADMAP drift question: the selection
+// engine prices a CLEAN machine, so how far do its table/cost picks sit
+// from the per-seed optimal once the world is noisy? Per noise level
+// and seed, every registered allreduce algorithm is forced in turn; the
+// seed's optimal is the fastest forced run, and each policy's drift is
+// its own virtual time over that optimum. Because the noise draws are
+// seed-deterministic, a policy run's time equals its chosen algorithm's
+// forced time exactly, which is how the pick columns are recovered.
+func noiseSelection(model *sim.CostModel) error {
+	t := &bench.Table{
+		Name:   "Ablation: selection drift under noise (8 nodes x 8 ranks allreduce, mean of 5 seeds)",
+		Note:   "Noise-blind policies keep their clean-machine choice; drift is the price of that choice\nagainst the per-seed fastest forced algorithm. Picks shown for seed 1.",
+		Header: []string{"elems", "noise", "table_pick", "cost_pick", "optimal", "table_drift", "cost_drift"},
+	}
+	const iters = 2
+	levels := []struct {
+		label string
+		mk    func(seed int64) *sim.Noise
+	}{
+		{"clean", func(int64) *sim.Noise { return nil }},
+		{"jitter=0.5", func(seed int64) *sim.Noise {
+			return &sim.Noise{Seed: seed, Jitter: 0.5}
+		}},
+		{"straggler x8", func(seed int64) *sim.Noise {
+			return &sim.Noise{Seed: seed, Stragglers: []int{0}, StragglerFactor: 8}
+		}},
+		{"congestion net=16", func(seed int64) *sim.Noise {
+			return &sim.Noise{Seed: seed, Congestion: map[sim.HopClass]float64{sim.HopNet: 16}}
+		}},
+		{"mixed", func(seed int64) *sim.Noise {
+			return &sim.Noise{Seed: seed, Jitter: 0.2, Stragglers: []int{0}, StragglerFactor: 4,
+				Congestion: map[sim.HopClass]float64{sim.HopNet: 4}}
+		}},
+	}
+	measure := func(elems int, n *sim.Noise, tun coll.Tuning) (sim.Time, error) {
+		topo, err := sim.Uniform(8, 8)
+		if err != nil {
+			return 0, err
+		}
+		w, err := mpi.NewWorld(model, topo, mpi.WithNoise(n), mpi.WithCollConfig(tun))
+		if err != nil {
+			return 0, err
+		}
+		defer w.Close()
+		err = w.Run(func(p *mpi.Proc) error {
+			c := p.CommWorld()
+			send, recv := mpi.Sized(elems*8), mpi.Sized(elems*8)
+			for i := 0; i < iters; i++ {
+				if err := coll.Allreduce(c, send, recv, elems, mpi.Float64, mpi.OpSum); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return w.MaxClock(), nil
+	}
+	algos := coll.Algorithms(coll.CollAllreduce)
+	pickOf := func(forced map[string]sim.Time, lat sim.Time) string {
+		for _, name := range algos {
+			if forced[name] == lat {
+				return name
+			}
+		}
+		return "?"
+	}
+	for _, elems := range []int{128, 2048, 16384} {
+		for _, lvl := range levels {
+			seeds := []int64{1, 2, 3, 4, 5}
+			if lvl.label == "clean" {
+				seeds = seeds[:1] // seeds only key noise draws
+			}
+			var tableDrift, costDrift float64
+			var tablePick, costPick, optPick string
+			for _, seed := range seeds {
+				n := lvl.mk(seed)
+				forced := make(map[string]sim.Time, len(algos))
+				var best sim.Time
+				bestName := ""
+				for _, name := range algos {
+					lat, err := measure(elems, n, coll.Tuning{
+						Force: map[coll.Collective]string{coll.CollAllreduce: name}})
+					if err != nil {
+						return fmt.Errorf("noise selection %q forced %s: %w", lvl.label, name, err)
+					}
+					forced[name] = lat
+					if bestName == "" || lat < best {
+						best, bestName = lat, name
+					}
+				}
+				tl, err := measure(elems, n, coll.Tuning{Policy: coll.PolicyTable})
+				if err != nil {
+					return err
+				}
+				cl, err := measure(elems, n, coll.Tuning{Policy: coll.PolicyCost})
+				if err != nil {
+					return err
+				}
+				tableDrift += float64(tl)/float64(best) - 1
+				costDrift += float64(cl)/float64(best) - 1
+				if seed == seeds[0] {
+					optPick, tablePick, costPick = bestName, pickOf(forced, tl), pickOf(forced, cl)
+				}
+			}
+			t.AddRow(fmt.Sprint(elems), lvl.label, tablePick, costPick, optPick,
+				fmt.Sprintf("%+.1f%%", tableDrift/float64(len(seeds))*100),
+				fmt.Sprintf("%+.1f%%", costDrift/float64(len(seeds))*100))
+		}
 	}
 	return t.Fprint(os.Stdout)
 }

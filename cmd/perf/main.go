@@ -7,6 +7,7 @@
 //	go run ./cmd/perf -out BENCH_PR1.json [-baseline old.json] [-case regexp]
 //	go run ./cmd/perf -check -baseline BENCH_PR1.json [-case regexp]
 //	go run ./cmd/perf -sweep coll,topo,scale [-tuning policy=cost,...] -out BENCH_PR4.json
+//	go run ./cmd/perf -sweep noise [-noiseseed 42] -out BENCH_PR9.json
 //	go run ./cmd/perf -sweep scale -scalemax 8192 [-cpuprofile cpu.pprof]
 //	go run ./cmd/perf -spec query.json
 //	go run ./cmd/perf -collective allgather -shape 64x24 -sizes 64,4096
@@ -66,8 +67,9 @@ func main() {
 	check := flag.Bool("check", false, "fail (exit 1) on regression vs -baseline")
 	maxSlow := flag.Float64("maxslow", 3.0, "-check: max allowed ns/op slowdown factor")
 	allocSlack := flag.Float64("allocslack", 1.10, "-check: allocs/op ceiling factor over baseline")
-	sweep := flag.String("sweep", "", "extra sweep dimensions: coll,topo,scale,stencil or all")
+	sweep := flag.String("sweep", "", "extra sweep dimensions: coll,topo,scale,stencil,service,noise or all")
 	scaleMax := flag.Int("scalemax", 65536, "scale sweep: largest rank count to run")
+	noiseSeed := flag.Int64("noiseseed", 42, "noise sweep: seed keying every noisy level")
 	engineSpec := flag.String("engine", "both",
 		"scale sweep execution backend: goroutine, event or both")
 	tuningSpec := flag.String("tuning", "policy=cost",
@@ -181,6 +183,12 @@ func main() {
 				fatal(err)
 			}
 			printServiceSweep(rep.ServiceSweep)
+		}
+		if dims["noise"] {
+			if rep.NoiseSweep, err = bench.RunNoiseSweep(*machine, *noiseSeed); err != nil {
+				fatal(err)
+			}
+			printNoiseSweep(rep.NoiseSweep)
 		}
 	}
 
@@ -347,14 +355,14 @@ func parseSweep(spec string) (map[string]bool, error) {
 		return dims, nil
 	}
 	if spec == "all" {
-		return map[string]bool{"coll": true, "topo": true, "scale": true, "stencil": true, "service": true}, nil
+		return map[string]bool{"coll": true, "topo": true, "scale": true, "stencil": true, "service": true, "noise": true}, nil
 	}
 	for _, d := range strings.Split(spec, ",") {
 		switch d = strings.TrimSpace(d); d {
-		case "coll", "topo", "scale", "stencil", "service":
+		case "coll", "topo", "scale", "stencil", "service", "noise":
 			dims[d] = true
 		default:
-			return nil, fmt.Errorf("unknown sweep dimension %q (want coll, topo, scale, stencil, service or all)", d)
+			return nil, fmt.Errorf("unknown sweep dimension %q (want coll, topo, scale, stencil, service, noise or all)", d)
 		}
 	}
 	return dims, nil
@@ -455,6 +463,15 @@ func printServiceSweep(s *bench.ServiceSweepReport) {
 			c.PooledP50Us, c.PerPointP50Us, c.P50Speedup)
 		fmt.Printf("    %2d-size sweep: pooled %7.1f ms  per-point %7.1f ms  speedup %.2fx\n",
 			c.SweepSizes, c.PooledSweepMs, c.PerPointSweepMs, c.SweepSpeedup)
+	}
+}
+
+func printNoiseSweep(s *bench.NoiseSweepReport) {
+	fmt.Printf("\nnoise-sweep (%s, %s %dx%d, seed %d, all paths bit-identical %v):\n",
+		s.Model, s.Collective, s.Nodes, s.PPN, s.Seed, s.BitIdentical)
+	for _, p := range s.Points {
+		fmt.Printf("  %-18s %8dB  virtual %10.2f us  slowdown %5.2fx  bit-identical %v\n",
+			p.Label, p.Bytes, p.VirtualUs, p.SlowdownVsClean, p.BitIdentical)
 	}
 }
 

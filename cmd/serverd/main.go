@@ -75,6 +75,18 @@ func envInt64(key string, def int64) int64 {
 	return n
 }
 
+func envFloat(key string, def float64) float64 {
+	v, ok := os.LookupEnv(key)
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		fatal(fmt.Errorf("%s=%q: %w", key, v, err))
+	}
+	return f
+}
+
 func envDuration(key string, def time.Duration) time.Duration {
 	v, ok := os.LookupEnv(key)
 	if !ok {
@@ -103,6 +115,8 @@ func main() {
 	poolRanks := flag.Int("pool-ranks", envInt("REPRO_POOL_RANKS", 0), "warm world pool rank budget (0 = default 2^20, negative disables pooling)")
 	poolIdle := flag.Duration("pool-idle", envDuration("REPRO_POOL_IDLE", 0), "close pooled worlds idle this long (0 = default 60s)")
 	groupParallel := flag.Int("group-parallel", envInt("REPRO_GROUP_PARALLEL", 0), "max concurrent ladder groups per query (0 = default 4)")
+	tenantQPS := flag.Float64("tenant-qps", envFloat("REPRO_TENANT_QPS", 0), "per-tenant rate limit on query endpoints, requests/s by X-Tenant header (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", envInt("REPRO_TENANT_BURST", 0), "per-tenant burst capacity (0 = 2x tenant-qps)")
 	timeout := flag.Duration("timeout", envDuration("REPRO_TIMEOUT", 60*time.Second), "per-request execution budget")
 	drain := flag.Duration("drain", envDuration("REPRO_DRAIN", 10*time.Second), "graceful-shutdown budget for in-flight requests")
 	pprofAddr := flag.String("pprof", envString("REPRO_PPROF", ""), "serve net/http/pprof on this extra loopback address (e.g. 127.0.0.1:6060; empty = off)")
@@ -126,6 +140,8 @@ func main() {
 		WorldPoolRanks:    *poolRanks,
 		WorldPoolIdle:     *poolIdle,
 		GroupParallelism:  *groupParallel,
+		TenantQPS:         *tenantQPS,
+		TenantBurst:       *tenantBurst,
 		Timeout:           *timeout,
 		Logger:            logger,
 	})

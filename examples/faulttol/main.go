@@ -1,0 +1,177 @@
+// Fault-tolerant training loop: ULFM-style recovery from a mid-run
+// rank failure, inside the simulator.
+//
+// Eight ranks run a checkpointed allreduce loop — the shape of a
+// distributed training job or an iterative solver. The world's noise
+// config schedules rank 3 to die partway through (a deterministic
+// virtual-time deadline, so every run fails identically), and the
+// survivors recover with the User-Level Failure Mitigation recipe:
+//
+//  1. an operation touching the dead rank fails with mpi.ErrRankFailed
+//     (peers that raced ahead may see mpi.ErrRevoked instead — both
+//     mean "this communicator is broken");
+//  2. the rank that saw the failure first Revokes the communicator, so
+//     every pending and future operation on it fails fast instead of
+//     deadlocking;
+//  3. all survivors Agree on whether the round committed — a
+//     fault-tolerant logical AND that keeps ranks which finished the
+//     round early from running ahead of ranks that saw it fail;
+//  4. Shrink mints a working communicator over the survivors,
+//     everyone rolls back to the round's checkpoint, and the loop
+//     resumes one rank smaller.
+//
+// The example verifies the recovered run end to end: every survivor
+// must hold the same final sum, equal to full-world rounds at the
+// 8-rank contribution plus recovered rounds at the 7-rank one.
+//
+//	go run ./examples/faulttol
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+const (
+	iters    = 10                    // loop rounds
+	step     = 100 * sim.Microsecond // per-round local compute
+	deadRank = 3
+	failAt   = 520 * sim.Microsecond // rank 3 dies mid-run, deterministically
+)
+
+func main() {
+	topo := sim.MustUniform(2, 4)
+	n := topo.Size()
+	noise := &sim.Noise{Failures: []sim.Failure{{Rank: deadRank, At: failAt}}}
+	w, err := mpi.NewWorld(sim.Laptop(), topo, mpi.WithNoise(noise), mpi.WithRealData())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+
+	totals := make([]float64, n)
+	fullRounds := make([]int, n) // rounds committed before the shrink
+	err = w.Run(func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		contribution := float64(p.Rank() + 1)
+		var total float64
+		full, shrunk := 0, false
+		for it := 0; it < iters; {
+			checkpoint := total
+			p.Elapse(step) // rank 3 dies here once its clock passes failAt
+			sum, err := allreduce(w, c, contribution, 2*it)
+			if err != nil && !recoverable(err) {
+				return err
+			}
+			if err != nil {
+				// First observer: poison the communicator so peers still
+				// parked in this round's sends/recvs wake immediately.
+				c.Revoke()
+			}
+			// Commit barrier: the round counts only if EVERY survivor
+			// completed it. Agree tolerates the dead member, so ranks
+			// that finished before the failure surfaced cannot run ahead.
+			ok, aerr := c.Agree(err == nil)
+			if aerr != nil && !recoverable(aerr) {
+				return aerr
+			}
+			if aerr == nil && ok {
+				total += sum
+				if !shrunk {
+					full++
+				}
+				it++
+				continue
+			}
+			// Recovery: survivors-only communicator, roll back, retry.
+			nc, serr := c.Shrink()
+			if serr != nil {
+				return serr
+			}
+			c, total, shrunk = nc, checkpoint, true
+		}
+		totals[p.Rank()] = total
+		fullRounds[p.Rank()] = full
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !w.Damaged() {
+		log.Fatal("rank failure never fired")
+	}
+	if dead := w.DeadRanks(); len(dead) != 1 || dead[0] != deadRank {
+		log.Fatalf("DeadRanks = %v, want [%d]", dead, deadRank)
+	}
+	fullSum := float64(n * (n + 1) / 2)
+	liveSum := fullSum - float64(deadRank+1)
+	full := fullRounds[0]
+	if full < 1 || full >= iters {
+		log.Fatalf("failure did not land mid-run: %d full-world rounds of %d", full, iters)
+	}
+	want := float64(full)*fullSum + float64(iters-full)*liveSum
+	for r, got := range totals {
+		if r == deadRank {
+			continue
+		}
+		if fullRounds[r] != full {
+			log.Fatalf("rank %d committed %d full-world rounds, rank 0 %d", r, fullRounds[r], full)
+		}
+		if got != want {
+			log.Fatalf("rank %d final sum %.0f, want %.0f", r, got, want)
+		}
+	}
+	fmt.Printf("rank %d died at its virtual deadline; %d survivors finished all %d rounds\n",
+		deadRank, n-1, iters)
+	fmt.Printf("  %d rounds at the full %d-rank sum, %d recovered rounds at %d ranks\n",
+		full, n, iters-full, n-1)
+	fmt.Printf("  every survivor holds %.0f (verified); virtual makespan %v\n",
+		want, w.MaxClock())
+}
+
+// recoverable reports whether err is a failure the ULFM recipe can
+// recover from, as opposed to a bug in the example.
+func recoverable(err error) bool {
+	return errors.Is(err, mpi.ErrRankFailed) || errors.Is(err, mpi.ErrRevoked)
+}
+
+// allreduce sums one contribution per comm member through comm rank 0.
+// O(n) on purpose: every transfer is a plain Send/Recv whose failure
+// returns an error the caller can recover from, which is the whole
+// point here — and after a Shrink it keeps working at any comm size.
+func allreduce(w *mpi.World, c *mpi.Comm, v float64, tag int) (float64, error) {
+	buf := w.NewBuf(8)
+	put := func(x float64) { binary.LittleEndian.PutUint64(buf.Raw(), math.Float64bits(x)) }
+	get := func() float64 { return math.Float64frombits(binary.LittleEndian.Uint64(buf.Raw())) }
+	if c.Rank() == 0 {
+		sum := v
+		for r := 1; r < c.Size(); r++ {
+			if _, err := c.Recv(buf, r, tag); err != nil {
+				return 0, err
+			}
+			sum += get()
+		}
+		put(sum)
+		for r := 1; r < c.Size(); r++ {
+			if err := c.Send(buf, r, tag+1); err != nil {
+				return 0, err
+			}
+		}
+		return sum, nil
+	}
+	put(v)
+	if err := c.Send(buf, 0, tag); err != nil {
+		return 0, err
+	}
+	if _, err := c.Recv(buf, 0, tag+1); err != nil {
+		return 0, err
+	}
+	return get(), nil
+}

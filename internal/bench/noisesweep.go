@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// The noise sweep is the robustness dimension of cmd/perf -sweep: the
+// same collective ladder simulated under a ladder of deterministic
+// noise configurations — link congestion, seeded jitter, straggler
+// ranks and their combination — reporting how far each level stretches
+// the virtual makespan over the clean run. Every level is executed
+// four ways (goroutine engine warm, event engine warm, per-point
+// referee worlds, pooled worlds with a warm re-run) and the point is
+// only marked bit-identical when all of them agree exactly: the sweep
+// doubles as the determinism gate for the noise subsystem.
+
+// NoisePoint is one (noise level, ladder size) measurement.
+type NoisePoint struct {
+	// Label names the noise level, e.g. "jitter=0.3".
+	Label string `json:"label"`
+	// Bytes is the ladder entry.
+	Bytes int `json:"bytes"`
+	// VirtualPs is the exact virtual makespan (Iters operations).
+	VirtualPs int64 `json:"virtual_ps"`
+	// VirtualUs is the same makespan in microseconds.
+	VirtualUs float64 `json:"virtual_us"`
+	// SlowdownVsClean is VirtualPs over the clean level's VirtualPs at
+	// the same size (1.0 for the clean level itself).
+	SlowdownVsClean float64 `json:"slowdown_vs_clean"`
+	// BitIdentical reports that both engines, the per-point referee,
+	// and a pooled warm re-run produced exactly this VirtualPs.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// NoiseSweepReport is the noise section of a BENCH_*.json document.
+type NoiseSweepReport struct {
+	Model      string `json:"model"`
+	Collective string `json:"collective"`
+	Nodes      int    `json:"nodes"`
+	PPN        int    `json:"ppn"`
+	Iters      int    `json:"iters"`
+	// Seed keys every noisy level.
+	Seed int64 `json:"seed"`
+	// WallMs is the host time the whole sweep took.
+	WallMs float64 `json:"wall_ms"`
+	// BitIdentical is the conjunction over every point — the headline
+	// determinism verdict.
+	BitIdentical bool         `json:"bit_identical"`
+	Points       []NoisePoint `json:"points"`
+}
+
+// noiseLevel is one rung of the noise ladder.
+type noiseLevel struct {
+	label string
+	noise *spec.Noise
+}
+
+// noiseLevels is the standard ladder: clean, two congestion factors,
+// two jitter amplitudes, a straggler, and everything at once.
+func noiseLevels(seed int64) []noiseLevel {
+	return []noiseLevel{
+		{"clean", nil},
+		{"congestion net=2", &spec.Noise{Seed: seed, Congestion: map[string]float64{"net": 2}}},
+		{"congestion net=8", &spec.Noise{Seed: seed, Congestion: map[string]float64{"net": 8}}},
+		{"jitter=0.1", &spec.Noise{Seed: seed, Jitter: 0.1}},
+		{"jitter=0.5", &spec.Noise{Seed: seed, Jitter: 0.5}},
+		{"straggler x8", &spec.Noise{Seed: seed, Stragglers: []int{0}, StragglerFactor: 8}},
+		{"mixed", &spec.Noise{Seed: seed, Jitter: 0.3, Stragglers: []int{0}, StragglerFactor: 4,
+			Congestion: map[string]float64{"net": 2, "shm": 1.5}}},
+	}
+}
+
+// noiseSweepSizes is the ladder each level runs.
+var noiseSweepSizes = []int{4096, 262144}
+
+// RunNoiseSweep measures the noise dimension on the given machine
+// profile: an 8x8 allreduce ladder per noise level, each level
+// executed across both engines and all three world-reuse paths and
+// cross-checked for exact agreement.
+func RunNoiseSweep(machine string, seed int64) (*NoiseSweepReport, error) {
+	const nodes, ppn, iters = 8, 8, 2
+	rep := &NoiseSweepReport{
+		Model: machine, Collective: "allreduce",
+		Nodes: nodes, PPN: ppn, Iters: iters,
+		Seed: seed, BitIdentical: true,
+	}
+	pool := spec.NewWorldPool(spec.PoolConfig{})
+	defer pool.Close()
+	start := time.Now()
+
+	clean := map[int]int64{} // bytes -> clean VirtualPs
+	for _, lvl := range noiseLevels(seed) {
+		mkQuery := func(engine string) *spec.Query {
+			return &spec.Query{
+				Machine:    machine,
+				Topology:   spec.Topology{Nodes: nodes, PPN: ppn},
+				Collective: "allreduce",
+				Sizes:      append([]int(nil), noiseSweepSizes...),
+				Iters:      iters,
+				Engine:     engine,
+				Noise:      cloneSpecNoise(lvl.noise),
+				Tuning:     spec.Tuning{Policy: "cost"},
+			}
+		}
+		// The reference timeline: goroutine engine, warm world within
+		// the ladder group.
+		ref, err := spec.Run(mkQuery("goroutine"))
+		if err != nil {
+			return nil, fmt.Errorf("bench: noise sweep %q: %w", lvl.label, err)
+		}
+		// Challengers: the event engine, the per-point referee path, and
+		// a pooled execution run twice so the second pass replays on a
+		// warm checked-in world.
+		challengers := []*spec.Result{}
+		ev, err := spec.Run(mkQuery("event"))
+		if err != nil {
+			return nil, fmt.Errorf("bench: noise sweep %q (event): %w", lvl.label, err)
+		}
+		challengers = append(challengers, ev)
+		perPoint, err := (&spec.Exec{PerPointWorlds: true}).RunContext(context.Background(), mkQuery("goroutine"))
+		if err != nil {
+			return nil, fmt.Errorf("bench: noise sweep %q (per-point): %w", lvl.label, err)
+		}
+		challengers = append(challengers, perPoint)
+		pooled := &spec.Exec{Pool: pool}
+		for pass := 0; pass < 2; pass++ {
+			res, err := pooled.RunContext(context.Background(), mkQuery("goroutine"))
+			if err != nil {
+				return nil, fmt.Errorf("bench: noise sweep %q (pooled pass %d): %w", lvl.label, pass, err)
+			}
+			challengers = append(challengers, res)
+		}
+
+		for i, p := range ref.Points {
+			identical := true
+			for _, ch := range challengers {
+				if ch.Points[i].VirtualPs != p.VirtualPs {
+					identical = false
+				}
+			}
+			if !identical {
+				rep.BitIdentical = false
+			}
+			if lvl.noise == nil {
+				clean[p.Bytes] = p.VirtualPs
+			}
+			slowdown := 0.0
+			if base := clean[p.Bytes]; base > 0 {
+				slowdown = float64(p.VirtualPs) / float64(base)
+			}
+			rep.Points = append(rep.Points, NoisePoint{
+				Label: lvl.label, Bytes: p.Bytes,
+				VirtualPs: p.VirtualPs, VirtualUs: float64(p.VirtualPs) / 1e6,
+				SlowdownVsClean: slowdown, BitIdentical: identical,
+			})
+		}
+	}
+	rep.WallMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	return rep, nil
+}
+
+// cloneSpecNoise deep-copies a noise block so each execution
+// canonicalizes its own query without sharing slices or maps.
+func cloneSpecNoise(n *spec.Noise) *spec.Noise {
+	if n == nil {
+		return nil
+	}
+	c := *n
+	c.Stragglers = append([]int(nil), n.Stragglers...)
+	c.Failures = append([]spec.Failure(nil), n.Failures...)
+	if n.Congestion != nil {
+		c.Congestion = make(map[string]float64, len(n.Congestion))
+		for k, v := range n.Congestion {
+			c.Congestion[k] = v
+		}
+	}
+	return &c
+}

@@ -70,6 +70,11 @@ type WallReport struct {
 	// warm-cache throughput and latency of the what-if daemon
 	// (cmd/perf -sweep service).
 	ServiceSweep *ServiceSweepReport `json:"service_sweep,omitempty"`
+	// NoiseSweep records the robustness dimension: virtual-time
+	// slowdown per deterministic noise level, cross-checked for exact
+	// agreement across engines and world-reuse paths
+	// (cmd/perf -sweep noise).
+	NoiseSweep *NoiseSweepReport `json:"noise_sweep,omitempty"`
 }
 
 // WallCases returns the standard wall-clock workload set: the paper's
@@ -366,6 +371,44 @@ func (rep *WallReport) CheckAgainst(baseline *WallReport, maxSlowdown, allocSlac
 			if common == 0 {
 				violations = append(violations,
 					"stencil sweep shares no points with the baseline (ladder shape drifted)")
+			}
+		}
+	}
+	// The noise dimension: each point's virtual makespan is seeded and
+	// deterministic, so every point measured by both builds must match
+	// exactly, and the in-sweep cross-engine/warm/pooled agreement
+	// verdict must hold in the current build.
+	if baseline.NoiseSweep != nil {
+		if rep.NoiseSweep == nil || len(rep.NoiseSweep.Points) == 0 {
+			violations = append(violations, "noise sweep missing (baseline has one; run with -sweep noise)")
+		} else {
+			if !rep.NoiseSweep.BitIdentical {
+				violations = append(violations,
+					"noise sweep lost bit-identity across engines/world-reuse paths")
+			}
+			noiseKey := func(p NoisePoint) string {
+				return fmt.Sprintf("%s/%dB", p.Label, p.Bytes)
+			}
+			current := map[string]NoisePoint{}
+			for _, p := range rep.NoiseSweep.Points {
+				current[noiseKey(p)] = p
+			}
+			common := 0
+			for _, b := range baseline.NoiseSweep.Points {
+				p, ok := current[noiseKey(b)]
+				if !ok {
+					continue
+				}
+				common++
+				if rep.NoiseSweep.Seed == baseline.NoiseSweep.Seed && p.VirtualPs != b.VirtualPs {
+					violations = append(violations, fmt.Sprintf(
+						"noise %s: virtual time moved (%d -> %d ps)",
+						noiseKey(b), b.VirtualPs, p.VirtualPs))
+				}
+			}
+			if common == 0 {
+				violations = append(violations,
+					"noise sweep shares no points with the baseline (ladder shape drifted)")
 			}
 		}
 	}

@@ -104,6 +104,7 @@ func (c *Comm) exchange(val any) []any {
 			}
 		}
 	}
+	c.checkFailed()
 	key := coordKey{ctx: c.ctx, seq: c.nextSeq()}
 	return w.coord.exchange(key, c.p, c.rank, len(c.ranks), val)
 }
@@ -161,16 +162,26 @@ func (c *Comm) FuseClocks(t sim.Time) sim.Time {
 	if n == 1 {
 		return t
 	}
-	if folded || w.evLive || n < clockTreeMin {
+	hasFail := w.hasFailures()
+	if hasFail {
+		c.checkFailed()
+	}
+	if folded || w.evLive || hasFail || n < clockTreeMin {
 		// The channel tree cannot serve folded comms (missing members
-		// would strand its edges) nor the event engine (its mid-tree
+		// would strand its edges), the event engine (its mid-tree
 		// parks are plain channel receives the scheduler cannot see),
-		// so both use the counter cell, which parks through the
-		// scheduler in event mode.
+		// or failure configs (the tree cannot be woken rank-selectively
+		// by the death walk), so all three use the counter cell, which
+		// parks through the scheduler in event mode and is poisoned
+		// per-context by coordinator.failRank.
 		if c.cfuser == nil {
 			c.cfuser = w.coord.clockFuser(c.ctx)
 		}
-		return c.cfuser.fuse(c.p, n, t)
+		var failed func() bool
+		if hasFail {
+			failed = c.deadCheck
+		}
+		return c.cfuser.fuse(c.p, n, t, failed)
 	}
 	if c.ctree == nil {
 		c.ctree = w.coord.clockTree(c.ctx, n)
@@ -286,6 +297,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	// Preallocate this rank's receive-side match queue for the new
 	// context so first use of the communicator doesn't allocate.
 	c.p.world.match.reserve(g.ctx, c.p.rank)
+	c.p.world.registerComm(g.ctx, g.ranks)
 	return &Comm{p: c.p, ctx: g.ctx, ranks: g.ranks, rank: int(plan.rankIn[c.rank]), collCfg: c.collCfg}, nil
 }
 

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/sim"
@@ -30,6 +31,7 @@ type coordSession struct {
 	vals      []any
 	remaining int
 	released  int
+	failed    bool          // a member died: every waiter fails with ErrRankFailed
 	done      chan struct{} // created lazily by the first waiter's arrival
 	waiters   []int         // event-engine parked ranks, woken by the completer
 }
@@ -94,8 +96,15 @@ func (co *coordinator) exchange(key coordKey, p *Proc, rank, size int, val any) 
 		s.vals = make([]any, size)
 		s.remaining = size
 		s.released = 0
+		s.failed = false
 		s.done = nil
 		sh.sessions[key] = s
+	}
+	if s.failed {
+		// The death walk failed this session before we arrived; a dead
+		// member means it can never complete.
+		sh.mu.Unlock()
+		panic(fmt.Errorf("mpi: setup exchange with failed member: %w", ErrRankFailed))
 	}
 	s.vals[rank] = val
 	s.remaining--
@@ -140,6 +149,15 @@ func (co *coordinator) exchange(key coordKey, p *Proc, rank, size int, val any) 
 				}
 			}
 		}
+	}
+
+	// The close of done (or the completer's own arrival) happens after
+	// any failed-flag write, so the flag is safely readable here.
+	if s.failed {
+		// A member died mid-session. The record stays in the map (never
+		// pooled — stragglers may still be waking through it); the world
+		// is damaged and either aborts or recovers on a fresh context.
+		panic(fmt.Errorf("mpi: setup exchange with failed member: %w", ErrRankFailed))
 	}
 
 	sh.mu.Lock()
@@ -188,6 +206,7 @@ type fuseRound struct {
 	remaining int
 	released  int
 	aborted   bool
+	failed    bool // a member died mid-round (see coordinator.failRank)
 	done      chan struct{}
 	waiters   []int // event-engine parked ranks (see exchange)
 }
@@ -205,15 +224,26 @@ var fuseRoundPool = sync.Pool{New: func() any { return new(fuseRound) }}
 type clockFuser struct {
 	mu      sync.Mutex
 	aborted bool
+	failed  bool // a communicator member died: the context is unusable
 	cur     *fuseRound
 }
 
-func (f *clockFuser) fuse(p *Proc, size int, clk sim.Time) sim.Time {
+// fuse folds the caller's clock into the current round. failed, when
+// non-nil, re-checks for dead communicator members under f.mu — closing
+// the race between the caller's collective-entry check and a concurrent
+// death, which would otherwise let a member park in a round the death
+// walk already visited (or will never visit, for a cell created after
+// the walk).
+func (f *clockFuser) fuse(p *Proc, size int, clk sim.Time, failed func() bool) sim.Time {
 	w := p.world
 	f.mu.Lock()
 	if f.aborted {
 		f.mu.Unlock()
 		panic(ErrAborted)
+	}
+	if f.failed || (failed != nil && failed()) {
+		f.mu.Unlock()
+		panic(fmt.Errorf("mpi: clock fusion with failed member: %w", ErrRankFailed))
 	}
 	r := f.cur
 	if r == nil {
@@ -222,6 +252,7 @@ func (f *clockFuser) fuse(p *Proc, size int, clk sim.Time) sim.Time {
 		r.remaining = size
 		r.released = 0
 		r.aborted = false
+		r.failed = false
 		r.done = nil
 		f.cur = r
 	} else if clk > r.max {
@@ -261,6 +292,9 @@ func (f *clockFuser) fuse(p *Proc, size int, clk sim.Time) sim.Time {
 		}
 		if r.aborted {
 			panic(ErrAborted)
+		}
+		if r.failed {
+			panic(fmt.Errorf("mpi: clock fusion with failed member: %w", ErrRankFailed))
 		}
 	}
 	res := r.max
@@ -368,6 +402,69 @@ func (co *coordinator) poisonFusers() {
 		f.mu.Unlock()
 		return true
 	})
+}
+
+// failRank wakes the collective waiters a rank's death strands: fusion
+// rounds and setup sessions on communicator contexts containing the
+// dead rank can never complete (the dead member will not arrive), so
+// they are failed — waiters wake and panic with ErrRankFailed. Runs on
+// the dying rank's goroutine (the token holder in event mode, making
+// the scheduler wakes safe). Holding fuserMu across the fuser walk
+// orders it against cell creation, exactly like the abort poison; cells
+// created after the walk are covered by fuse's under-lock dead re-check
+// (the matcher's dead flag is published before this walk starts).
+func (co *coordinator) failRank(w *World, rank int) {
+	co.fuserMu.Lock()
+	co.fusers.Range(func(k, v any) bool {
+		if !w.ctxHasRank(k.(int), rank) {
+			return true
+		}
+		f := v.(*clockFuser)
+		f.mu.Lock()
+		f.failed = true
+		if r := f.cur; r != nil {
+			f.cur = nil
+			r.failed = true
+			if r.done != nil {
+				close(r.done)
+			}
+			if w.evLive {
+				for _, wr := range r.waiters {
+					w.ev.wake(wr)
+				}
+			}
+			r.waiters = r.waiters[:0]
+		}
+		f.mu.Unlock()
+		return true
+	})
+	co.fuserMu.Unlock()
+
+	// Sessions still waiting on contributions (remaining > 0) from a
+	// communicator containing the dead rank can never complete. Failed
+	// sessions stay in their maps so late arrivals observe the flag;
+	// completed sessions (remaining == 0) are left alone — their
+	// stragglers only read the finished vals vector.
+	for i := range co.shards {
+		sh := &co.shards[i]
+		sh.mu.Lock()
+		for key, s := range sh.sessions {
+			if s.remaining == 0 || s.failed || !w.ctxHasRank(key.ctx, rank) {
+				continue
+			}
+			s.failed = true
+			if s.done != nil {
+				close(s.done)
+			}
+			if w.evLive {
+				for _, wr := range s.waiters {
+					w.ev.wake(wr)
+				}
+			}
+			s.waiters = s.waiters[:0]
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // clockTree returns the fusion tree for a communicator context,

@@ -83,6 +83,7 @@ func (c *Comm) NewGroupComm(ctx int, ranks []int, rank int) *Comm {
 // dst must be written by exactly one rank.
 func (c *Comm) InitGroupComm(dst *Comm, ctx int, ranks []int, rank int) *Comm {
 	c.p.world.match.reserve(ctx, c.p.rank)
+	c.p.world.registerComm(ctx, ranks)
 	*dst = Comm{p: c.p, ctx: ctx, ranks: ranks, rank: rank, collCfg: c.collCfg}
 	return dst
 }

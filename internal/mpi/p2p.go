@@ -32,6 +32,7 @@ type message struct {
 	store     *[]byte // pooled backing of an eager payload snapshot, if any
 	eager     bool
 	flag      bool          // shared-memory flag signal (store/poll, not transport)
+	xferScale float64       // noise transfer multiplier; 0 = unscaled (fault.go)
 	postClock sim.Time      // sender clock when the send was posted
 	done      chan sim.Time // sender completion time (rendezvous)
 }
@@ -121,12 +122,30 @@ func putEagerStore(p *[]byte) { eagerBytesPool.Put(p) }
 // completion times are never negative.
 const abortClock = sim.Time(math.MinInt64)
 
+// failClock and revokedClock are the fault-injection cousins of
+// abortClock: the death walk feeds failClock to waiters whose peer
+// died, revokeCtx feeds revokedClock to waiters on a revoked
+// communicator (fault.go). failErr maps all three back to errors.
+const (
+	failClock    = sim.Time(math.MinInt64 + 1)
+	revokedClock = sim.Time(math.MinInt64 + 2)
+)
+
 // matcher pairs posted sends with posted receives. It is sharded by
 // destination rank so that large jobs do not serialize on one lock.
 type matcher struct {
 	shards  []matchShard
 	fold    int // rank-symmetry fold unit, 0 when unfolded (fold.go)
 	aborted atomic.Bool
+
+	// Fault-injection state (fault.go): per-global-rank death flags
+	// (nil unless the world schedules failures) and the revoked
+	// context set, both checked under the shard lock on posts so a
+	// post either precedes the corresponding purge walk (which then
+	// fails it) or observes the flag.
+	dead     []atomic.Bool
+	revoked  sync.Map // ctx int -> struct{}
+	nRevoked atomic.Int32
 
 	// Queue arena: rank queues for all shards are cut from shared
 	// chunks (setup-path only, so one extra mutex is harmless), which
@@ -292,12 +311,22 @@ func (m *matcher) postSend(ctx int, msg *message) (*recvReq, error) {
 	if m.aborted.Load() {
 		return nil, ErrAborted
 	}
+	if m.isRevoked(ctx) {
+		return nil, ErrRevoked
+	}
 	q := s.queue(m, ctx)
 	for i := q.recvs.head; i < len(q.recvs.items); i++ {
 		if r := q.recvs.items[i]; m.accepts(r, msg) {
 			q.recvs.remove(i)
 			return r, nil
 		}
+	}
+	// The dead check runs after the match scan: a receive the dead rank
+	// posted before dying stays matchable (the outcome then depends
+	// only on virtual program order, not on how the sender's post
+	// interleaves with the death walk in host time).
+	if m.dead != nil && m.dead[msg.dst].Load() {
+		return nil, fmt.Errorf("mpi: send to failed rank %d: %w", msg.dst, ErrRankFailed)
 	}
 	q.sends.push(msg)
 	return nil, nil
@@ -313,12 +342,22 @@ func (m *matcher) postRecv(ctx, dst int, r *recvReq) (*message, error) {
 	if m.aborted.Load() {
 		return nil, ErrAborted
 	}
+	if m.isRevoked(ctx) {
+		return nil, ErrRevoked
+	}
 	q := s.queue(m, ctx)
 	for i := q.sends.head; i < len(q.sends.items); i++ {
 		if msg := q.sends.items[i]; m.accepts(r, msg) {
 			q.sends.remove(i)
 			return msg, nil
 		}
+	}
+	// After the scan, like postSend: a message the dead rank sent
+	// before dying is still delivered (in-flight delivery, as ULFM
+	// allows); only a receive that would have to wait on the dead rank
+	// fails.
+	if m.dead != nil && r.srcGlobal != AnySource && m.dead[r.srcGlobal].Load() {
+		return nil, fmt.Errorf("mpi: receive from failed rank %d: %w", r.srcGlobal, ErrRankFailed)
 	}
 	q.recvs.push(r)
 	return nil, nil
@@ -383,6 +422,12 @@ func (w *World) complete(m *message, r *recvReq) {
 		n = r.buf.Len() // truncation: account only what lands
 	}
 	xfer := w.model.XferCost(class, n)
+	if m.xferScale > 0 {
+		// Congestion/jitter stretch drawn at post time in the sender's
+		// program order (fault.go); a single float64 multiply keeps the
+		// result bit-identical across engines and platforms.
+		xfer = sim.Time(float64(xfer) * m.xferScale)
+	}
 	var sendDone, recvDone sim.Time
 	if m.eager {
 		// Sender fired and forgot at post time; the wire delay

@@ -15,6 +15,12 @@ type Proc struct {
 	rank  int
 	clock sim.Time
 
+	// noiseOps counts this rank's noise draws, forming the opIndex
+	// coordinate of the counter-based PRNG. It advances only at the
+	// rank's own operation boundaries (program order), so the draw
+	// sequence is identical on both engines and across warm reruns.
+	noiseOps uint64
+
 	commWorld *Comm // cached singleton handle (see CommWorld)
 	cw        Comm  // its embedded storage: no per-rank allocation
 }
@@ -64,14 +70,18 @@ func (p *Proc) syncTo(t sim.Time) {
 // applications use it so that communication/computation ratios (and thus
 // the paper's Fig. 11/12 ratios) are modeled consistently across scales.
 func (p *Proc) Compute(flops float64) {
+	p.maybeFail()
 	d := p.world.model.ComputeCost(flops)
-	p.advance(d)
+	p.advance(p.perturb(d))
 	p.trace("compute", 0, "")
 }
 
 // Elapse advances the clock by an explicit duration (for modeled costs
 // that are not flop-shaped).
-func (p *Proc) Elapse(d sim.Time) { p.advance(d) }
+func (p *Proc) Elapse(d sim.Time) {
+	p.maybeFail()
+	p.advance(p.perturb(d))
+}
 
 // AwaitTime blocks virtually until t: the clock jumps to t if it is
 // still behind (no-op otherwise). Synchronization primitives built on

@@ -8,14 +8,14 @@ import (
 
 // Request is a nonblocking operation handle (MPI_Request).
 type Request struct {
-	p       *Proc
-	isSend  bool
-	eager   bool
-	msg     *message // send side (rendezvous only; eager sends complete at post)
-	rr      *recvReq // recv side
-	status  Status
-	done    bool
-	aborted bool // latched: every later Wait/Test keeps returning ErrAborted
+	p      *Proc
+	isSend bool
+	eager  bool
+	msg    *message // send side (rendezvous only; eager sends complete at post)
+	rr     *recvReq // recv side
+	status Status
+	done   bool
+	err    error // latched failure (abort/rank-failed/revoked): every later Wait/Test repeats it
 }
 
 // postSendAtClock posts a send whose virtual posting time is `at` —
@@ -28,12 +28,17 @@ func (c *Comm) postSendAtClock(buf Buf, dst, tag int, at sim.Time, kind string) 
 	if err := c.validRank(dst, false); err != nil {
 		return nil, err
 	}
+	c.p.maybeFail()
 	w := c.p.world
 	eager := w.model.Eager(buf.Len())
 	data := buf
 	var store *[]byte
 	if eager {
 		data, store = cloneEager(buf)
+	}
+	var xscale float64
+	if ns := w.noise; ns != nil {
+		xscale = ns.xferScale(c.p, w.topo.Hop(c.p.rank, c.ranks[dst]))
 	}
 	msg := getMessage()
 	*msg = message{
@@ -44,6 +49,7 @@ func (c *Comm) postSendAtClock(buf Buf, dst, tag int, at sim.Time, kind string) 
 		data:      data,
 		store:     store,
 		eager:     eager,
+		xferScale: xscale,
 		postClock: at,
 		done:      msg.done,
 	}
@@ -88,6 +94,7 @@ func (c *Comm) postRecvReqAt(buf Buf, src, tag int, at sim.Time, kind string) (*
 	if err := c.validRank(src, true); err != nil {
 		return nil, err
 	}
+	c.p.maybeFail()
 	srcGlobal := AnySource
 	if src != AnySource {
 		srcGlobal = c.ranks[src]
@@ -134,9 +141,9 @@ func (p *Proc) waitSendMsg(m *message) error {
 	} else {
 		at = <-m.done
 	}
-	if at == abortClock {
+	if err := failErr(at); err != nil {
 		putMessage(m)
-		return ErrAborted
+		return err
 	}
 	p.syncTo(at)
 	putMessage(m)
@@ -155,9 +162,9 @@ func (p *Proc) waitRecvReq(rr *recvReq) (Status, error) {
 	} else {
 		res = <-rr.result
 	}
-	if res.at == abortClock {
+	if err := failErr(res.at); err != nil {
 		putRecvReq(rr)
-		return Status{}, ErrAborted
+		return Status{}, err
 	}
 	putRecvReq(rr)
 	p.syncTo(res.at)
@@ -192,8 +199,8 @@ func (r *Request) Wait() (Status, error) {
 	if r == nil {
 		return Status{}, errors.New("mpi: Wait on nil request")
 	}
-	if r.aborted {
-		return Status{}, ErrAborted
+	if r.err != nil {
+		return Status{}, r.err
 	}
 	if r.done {
 		return r.status, nil
@@ -207,7 +214,7 @@ func (r *Request) Wait() (Status, error) {
 		msg := r.msg
 		r.msg = nil
 		if err := r.p.waitSendMsg(msg); err != nil {
-			r.aborted = true
+			r.err = err
 			return Status{}, err
 		}
 		return Status{}, nil
@@ -216,7 +223,7 @@ func (r *Request) Wait() (Status, error) {
 	r.rr = nil
 	st, err := r.p.waitRecvReq(rr)
 	if err != nil {
-		r.aborted = true
+		r.err = err
 		return Status{}, err
 	}
 	r.status = st
@@ -233,8 +240,8 @@ func (r *Request) Test() (bool, Status, error) {
 	if r == nil {
 		return false, Status{}, errors.New("mpi: Test on nil request")
 	}
-	if r.aborted {
-		return false, Status{}, ErrAborted
+	if r.err != nil {
+		return false, Status{}, r.err
 	}
 	if r.done {
 		return true, r.status, nil
@@ -249,12 +256,11 @@ func (r *Request) Test() (bool, Status, error) {
 		case at := <-r.msg.done:
 			putMessage(r.msg)
 			r.msg = nil
-			if at == abortClock {
-				// The poison consumed the record; latch the abort so
-				// later Wait/Test keep reporting it instead of touching
-				// the recycled message.
-				r.aborted = true
-				return false, Status{}, ErrAborted
+			if err := failErr(at); err != nil {
+				// Latch the failure so later Wait/Test keep reporting it
+				// instead of touching the recycled message.
+				r.err = err
+				return false, Status{}, err
 			}
 			r.p.syncTo(at)
 			r.done = true
@@ -274,9 +280,9 @@ func (r *Request) Test() (bool, Status, error) {
 	case res := <-r.rr.result:
 		putRecvReq(r.rr)
 		r.rr = nil
-		if res.at == abortClock {
-			r.aborted = true
-			return false, Status{}, ErrAborted
+		if err := failErr(res.at); err != nil {
+			r.err = err
+			return false, Status{}, err
 		}
 		r.p.syncTo(res.at)
 		r.p.trace("recv", res.bytes, "")

@@ -31,6 +31,16 @@ type World struct {
 	nextCtx atomic.Int64
 	collCfg any // default collective-tuning config inherited by CommWorld
 
+	// Deterministic noise/fault layer (fault.go). noise is the compiled
+	// per-world state (nil for a clean world); damaged latches once any
+	// rank dies so pools never reuse a world with dead ranks; commRanks
+	// maps context id -> member global ranks, maintained only under
+	// failure configs so the coordinator's death walk can tell which
+	// sessions a dead rank participates in.
+	noise     *noiseState
+	damaged   atomic.Bool
+	commRanks sync.Map
+
 	identity []int // comm rank == global rank table for COMM_WORLD
 	procs    []*Proc
 
@@ -133,6 +143,11 @@ type Config struct {
 	// CommWorld handle — and every communicator derived from it —
 	// inherits the value.
 	CollConfig any
+	// Noise configures the deterministic noise/fault layer (compute
+	// jitter, stragglers, link congestion, scheduled rank failures).
+	// Nil (or a zero value) runs a perfectly clean world. A config
+	// whose BreaksSymmetry() is true is incompatible with FoldUnit > 0.
+	Noise *sim.Noise
 }
 
 // DefaultConfig returns the configuration NewWorld starts from before
@@ -163,6 +178,9 @@ func WithEngine(e sim.Engine) Option { return func(c *Config) { c.Engine = e } }
 // WithFold enables rank-symmetry folding with the given fold unit
 // (Config.FoldUnit).
 func WithFold(unit int) Option { return func(c *Config) { c.FoldUnit = unit } }
+
+// WithNoise attaches a deterministic noise/fault config (Config.Noise).
+func WithNoise(n *sim.Noise) Option { return func(c *Config) { c.Noise = n } }
 
 // defaultEngine holds the package-wide backend worlds are created with
 // when no WithEngine option is given. Harnesses that construct worlds
@@ -212,6 +230,13 @@ func NewWorldConfig(model *sim.CostModel, topo *sim.Topology, cfg Config) (*Worl
 	if err := w.validateFold(); err != nil {
 		return nil, err
 	}
+	if err := cfg.Noise.Validate(topo.Size()); err != nil {
+		return nil, err
+	}
+	if cfg.Noise.BreaksSymmetry() && cfg.FoldUnit > 0 {
+		return nil, fmt.Errorf("mpi: noise config breaks rank symmetry (jitter/stragglers/failures): %w", ErrFoldUnsafe)
+	}
+	w.noise = compileNoise(cfg.Noise, topo.Size())
 	w.execN = topo.Size()
 	if w.foldUnit > 0 {
 		w.execN = w.foldUnit
@@ -219,6 +244,9 @@ func NewWorldConfig(model *sim.CostModel, topo *sim.Topology, cfg Config) (*Worl
 	w.pool = newRankPool(w.execN)
 	w.match.fold = w.foldUnit
 	w.match.sizeTo(w.execN)
+	if w.hasFailures() {
+		w.match.dead = make([]atomic.Bool, topo.Size())
+	}
 	w.identity = make([]int, topo.Size())
 	w.procs = make([]*Proc, topo.Size())
 	store := make([]Proc, w.execN) // one allocation, not one per rank
@@ -229,6 +257,7 @@ func NewWorldConfig(model *sim.CostModel, topo *sim.Topology, cfg Config) (*Worl
 		w.identity[r] = r
 		w.procs[r] = &store[r%w.execN]
 	}
+	w.registerComm(0, w.identity)
 	return w, nil
 }
 
@@ -351,8 +380,22 @@ func (w *World) Run(body func(p *Proc) error) error {
 // ErrAborted; those are reported cleanly rather than as crashes. Any
 // other panic aborts the job.
 func recoveredRankError(p *Proc, rec any) error {
+	if rec == errRankKilled {
+		// A scheduled death is not a bug: the rank simply stops. Its
+		// peers observe the failure through the fault machinery
+		// (ErrRankFailed) and decide whether to recover or abort.
+		return nil
+	}
 	if e, ok := rec.(error); ok {
 		if errors.Is(e, ErrAborted) {
+			return &RankError{Rank: p.rank, Err: e}
+		}
+		if errors.Is(e, ErrRankFailed) || errors.Is(e, ErrRevoked) {
+			// A rank that gives up on a peer's failure (instead of
+			// recovering via Revoke/Shrink) fails the job, MPI's
+			// MPI_ERRORS_ARE_FATAL default. Abort so ranks parked in
+			// collectives with the dead rank wake up.
+			p.world.Abort()
 			return &RankError{Rank: p.rank, Err: e}
 		}
 		if errors.Is(e, ErrFoldUnsafe) {
@@ -411,6 +454,7 @@ func (w *World) ResetClocks() {
 	w.assertNotRunning("ResetClocks")
 	for _, p := range w.procs {
 		p.clock = 0
+		p.noiseOps = 0
 	}
 }
 

@@ -35,13 +35,26 @@ type metrics struct {
 
 	mu       sync.Mutex
 	requests map[string]int64 // "endpoint|code" -> count
+	tenants  map[string]int64 // "tenant|outcome" -> count
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		histCounts: make([]atomic.Int64, len(latencyBuckets)+1),
 		requests:   make(map[string]int64),
+		tenants:    make(map[string]int64),
 	}
+}
+
+// tenant records one rate-limiter decision for the given tenant.
+func (m *metrics) tenant(name string, allowed bool) {
+	outcome := "limited"
+	if allowed {
+		outcome = "allowed"
+	}
+	m.mu.Lock()
+	m.tenants[name+"|"+outcome]++
+	m.mu.Unlock()
 }
 
 // request records one completed request.
@@ -71,6 +84,21 @@ func (m *metrics) render(w *strings.Builder, cacheLen, idleWorkers int, pointCap
 	for _, k := range keys {
 		endpoint, code, _ := strings.Cut(k, "|")
 		fmt.Fprintf(w, "repro_requests_total{endpoint=%q,code=%q} %d\n", endpoint, code, m.requests[k])
+	}
+	if len(m.tenants) > 0 {
+		fmt.Fprintf(w, "# HELP repro_tenant_requests_total Per-tenant rate-limiter decisions on the query endpoints.\n")
+		fmt.Fprintf(w, "# TYPE repro_tenant_requests_total counter\n")
+		tkeys := make([]string, 0, len(m.tenants))
+		for k := range m.tenants {
+			tkeys = append(tkeys, k)
+		}
+		sort.Strings(tkeys)
+		for _, k := range tkeys {
+			// Split at the LAST separator: the outcome never contains
+			// "|" but a hostile tenant header might.
+			i := strings.LastIndex(k, "|")
+			fmt.Fprintf(w, "repro_tenant_requests_total{tenant=%q,outcome=%q} %d\n", k[:i], k[i+1:], m.tenants[k])
+		}
 	}
 	m.mu.Unlock()
 

@@ -41,8 +41,10 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -100,6 +102,17 @@ type Config struct {
 	// before/after comparison and as the referee configuration in
 	// bit-identity tests; production daemons leave it off.
 	PerPointWorlds bool
+	// TenantQPS enables per-tenant rate limiting on the query endpoints
+	// (/v1/run, /v1/price, /v1/canon): each tenant — the X-Tenant
+	// request header, "default" when absent — gets a token bucket
+	// refilled at this many requests per second. Rejected requests
+	// answer 429 with a Retry-After header. Zero (the default)
+	// disables limiting; /healthz and /metrics are never limited.
+	TenantQPS float64
+	// TenantBurst is each tenant's bucket capacity — how many requests
+	// a tenant may issue back to back before the QPS rate gates it
+	// (default: 2*TenantQPS rounded up, at least 1).
+	TenantBurst int
 	// Timeout is the per-request execution budget; expiry aborts the
 	// world and returns 504 (default 60s).
 	Timeout time.Duration
@@ -118,9 +131,10 @@ type Server struct {
 	flight  *flightGroup
 	met     *metrics
 	mux     *http.ServeMux
-	exec    spec.Exec     // warm-world execution environment
-	points  chan struct{} // point-class worker slots
-	sweeps  chan struct{} // sweep-class worker slots
+	tenants *tenantLimiter // nil when TenantQPS is 0
+	exec    spec.Exec      // warm-world execution environment
+	points  chan struct{}  // point-class worker slots
+	sweeps  chan struct{}  // sweep-class worker slots
 	baseCtx context.Context
 	stop    context.CancelFunc
 }
@@ -163,6 +177,9 @@ func New(cfg Config) *Server {
 	if cfg.GroupParallelism <= 0 {
 		cfg.GroupParallelism = 4
 	}
+	if cfg.TenantQPS > 0 && cfg.TenantBurst <= 0 {
+		cfg.TenantBurst = int(math.Ceil(2 * cfg.TenantQPS))
+	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 60 * time.Second
 	}
@@ -184,6 +201,9 @@ func New(cfg Config) *Server {
 		baseCtx: ctx,
 		stop:    stop,
 	}
+	if cfg.TenantQPS > 0 {
+		s.tenants = newTenantLimiter(cfg.TenantQPS, cfg.TenantBurst)
+	}
 	s.exec.Parallelism = cfg.GroupParallelism
 	s.exec.PerPointWorlds = cfg.PerPointWorlds
 	if cfg.WorldPoolRanks > 0 && !cfg.PerPointWorlds {
@@ -192,9 +212,9 @@ func New(cfg Config) *Server {
 			MaxIdle:  cfg.WorldPoolIdle,
 		})
 	}
-	s.mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
-	s.mux.HandleFunc("POST /v1/price", s.instrument("/v1/price", s.handlePrice))
-	s.mux.HandleFunc("POST /v1/canon", s.instrument("/v1/canon", s.handleCanon))
+	s.mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.rateLimit(s.handleRun)))
+	s.mux.HandleFunc("POST /v1/price", s.instrument("/v1/price", s.rateLimit(s.handlePrice)))
+	s.mux.HandleFunc("POST /v1/canon", s.instrument("/v1/canon", s.rateLimit(s.handleCanon)))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	return s
@@ -262,6 +282,43 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		s.cfg.Logger.Debug("request",
 			"endpoint", endpoint, "code", sw.code, "duration", d,
 			"cache", sw.Header().Get("X-Cache"))
+	}
+}
+
+// tenantName extracts the request's tenant identity: the X-Tenant
+// header, or "default" when absent — anonymous clients share one
+// bucket rather than bypassing the limiter.
+func tenantName(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// rateLimit gates a query endpoint behind the per-tenant token
+// bucket. A pass-through no-op when limiting is disabled. Rejections
+// answer 429 with a Retry-After header (whole seconds, rounded up)
+// so well-behaved clients can back off precisely; both outcomes feed
+// the repro_tenant_requests_total metric.
+func (s *Server) rateLimit(h http.HandlerFunc) http.HandlerFunc {
+	if s.tenants == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		tenant := tenantName(r)
+		ok, retry := s.tenants.allow(tenant, time.Now())
+		s.met.tenant(tenant, ok)
+		if !ok {
+			secs := int(math.Ceil(retry.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, &httpError{http.StatusTooManyRequests,
+				fmt.Errorf("server: tenant %q over its %g req/s rate limit, retry in %ds", tenant, s.cfg.TenantQPS, secs)})
+			return
+		}
+		h(w, r)
 	}
 }
 

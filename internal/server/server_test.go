@@ -274,6 +274,99 @@ func TestExecuteTimeout(t *testing.T) {
 	}
 }
 
+// doTenant is do with an X-Tenant header ("" sends none).
+func doTenant(t *testing.T, h http.Handler, method, path, body, tenant string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestTenantRateLimit: with a 1 qps / burst-2 limit, a tenant's third
+// back-to-back query answers 429 with a Retry-After header, other
+// tenants keep their own budget, anonymous requests share the
+// "default" bucket, and the ops endpoints are never limited.
+func TestTenantRateLimit(t *testing.T) {
+	srv := server.New(server.Config{
+		Workers: 2, SweepWorkers: 1,
+		TenantQPS:   1,
+		TenantBurst: 2,
+		Timeout:     30 * time.Second,
+		Logger:      quietLogger(),
+	})
+	defer srv.Close()
+	canon := `{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8]}`
+
+	for i := 0; i < 2; i++ {
+		if rec := doTenant(t, srv, "POST", "/v1/canon", canon, "alice"); rec.Code != 200 {
+			t.Fatalf("alice request %d: code %d, want 200: %s", i, rec.Code, rec.Body)
+		}
+	}
+	rec := doTenant(t, srv, "POST", "/v1/canon", canon, "alice")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("alice over burst: code %d, want 429: %s", rec.Code, rec.Body)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("429 without a useful Retry-After header (%q)", ra)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := jsonUnmarshalStrict(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
+		t.Errorf("429 body is not the JSON error envelope: %s (%v)", rec.Body, err)
+	}
+
+	// Another tenant and the anonymous default bucket are unaffected by
+	// alice burning her budget.
+	if rec := doTenant(t, srv, "POST", "/v1/canon", canon, "bob"); rec.Code != 200 {
+		t.Errorf("bob: code %d, want 200: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, srv, "POST", "/v1/canon", canon); rec.Code != 200 {
+		t.Errorf("anonymous: code %d, want 200: %s", rec.Code, rec.Body)
+	}
+	// Anonymous clients share one bucket: two more exhaust "default".
+	do(t, srv, "POST", "/v1/canon", canon)
+	if rec := do(t, srv, "POST", "/v1/canon", canon); rec.Code != http.StatusTooManyRequests {
+		t.Errorf("third anonymous request: code %d, want 429: %s", rec.Code, rec.Body)
+	}
+
+	// Ops endpoints stay reachable for a limited tenant.
+	if rec := doTenant(t, srv, "GET", "/healthz", "", "alice"); rec.Code != 200 {
+		t.Errorf("healthz limited: code %d", rec.Code)
+	}
+	met := doTenant(t, srv, "GET", "/metrics", "", "alice")
+	if met.Code != 200 {
+		t.Fatalf("metrics: code %d", met.Code)
+	}
+	out := met.Body.String()
+	for _, want := range []string{
+		`repro_tenant_requests_total{tenant="alice",outcome="allowed"} 2`,
+		`repro_tenant_requests_total{tenant="alice",outcome="limited"} 1`,
+		`repro_tenant_requests_total{tenant="default",outcome="limited"} 1`,
+		`repro_requests_total{endpoint="/v1/canon",code="429"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestTenantRateLimitDisabled: the zero config imposes no limit.
+func TestTenantRateLimitDisabled(t *testing.T) {
+	srv := newTestServer()
+	defer srv.Close()
+	canon := `{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8]}`
+	for i := 0; i < 50; i++ {
+		if rec := doTenant(t, srv, "POST", "/v1/canon", canon, "hammer"); rec.Code != 200 {
+			t.Fatalf("request %d limited with TenantQPS=0: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+}
+
 // jsonUnmarshalStrict decodes exactly one JSON value, rejecting
 // unknown fields — response schemas drifting from spec.Result should
 // fail loudly here.

@@ -31,6 +31,11 @@ type ShapeKey struct {
 	FoldUnit int
 	// Tuning is the canonical textual tuning spec (Tuning.Spec()).
 	Tuning string
+	// Noise is the canonical JSON of the query's noise block, "" for a
+	// clean world. Noise is baked into a world at construction, so two
+	// queries can only share a resident world when their noise configs
+	// are identical.
+	Noise string
 }
 
 // PoolConfig sizes a WorldPool. The zero value is usable: every field
@@ -194,7 +199,9 @@ func (p *WorldPool) Checkout(key ShapeKey, build func() (*mpi.World, error)) (*P
 // overflows. Always call it exactly once per successful Checkout.
 func (p *WorldPool) Checkin(pw *PooledWorld) {
 	w := pw.W
-	healthy := !w.Aborted() && !w.Closed()
+	// A damaged world (a scheduled rank failure fired) is permanently
+	// missing ranks; parking it would hand dead state to the next query.
+	healthy := !w.Aborted() && !w.Closed() && !w.Damaged()
 
 	p.mu.Lock()
 	p.leased--

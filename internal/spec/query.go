@@ -158,6 +158,11 @@ type Query struct {
 	Fold string `json:"fold,omitempty"`
 	// Tuning configures the collective selection engine.
 	Tuning Tuning `json:"tuning"`
+	// Noise configures deterministic noise and fault injection (seeded
+	// jitter, stragglers, link congestion, scheduled rank failures).
+	// Absent means a clean world; an all-zero block canonicalizes to
+	// absent, keeping noise-free fingerprints stable.
+	Noise *Noise `json:"noise,omitempty"`
 }
 
 // maxSizeBytes bounds one ladder entry (1 GiB per rank).
@@ -249,6 +254,18 @@ func (q *Query) Canonicalize() error {
 			return fmt.Errorf("spec: fold %q is not auto, off or a positive unit", q.Fold)
 		}
 		q.Fold = strconv.Itoa(u)
+	}
+	noise, err := q.Noise.canonicalize(q.Topology.Ranks())
+	if err != nil {
+		return err
+	}
+	q.Noise = noise
+	if q.Noise.BreaksSymmetry() && q.Fold != "auto" && q.Fold != "off" {
+		// Asymmetric noise (jitter, stragglers, failures) invalidates
+		// rank-symmetry folding; "auto" quietly resolves to unfolded,
+		// but an explicit unit is a contradiction worth rejecting here
+		// rather than at world construction.
+		return fmt.Errorf("spec: fold %q incompatible with noise that breaks rank symmetry", q.Fold)
 	}
 	return q.Tuning.Canonicalize()
 }

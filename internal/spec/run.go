@@ -2,6 +2,7 @@ package spec
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strconv"
@@ -271,14 +272,20 @@ func (e *Exec) RunContext(ctx context.Context, q *Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	noise, err := q.Noise.ToSim()
+	if err != nil {
+		return nil, err
+	}
 
 	// Resolve every point's fold unit up front: the grouping key.
+	// Noise that breaks rank symmetry self-disables folding — replica
+	// ranks would no longer behave like their class representative.
 	folds := make([]int, len(q.Sizes))
 	for i, b := range q.Sizes {
 		switch q.Fold {
 		case "off":
 		case "auto":
-			if engine == sim.EngineEvent {
+			if engine == sim.EngineEvent && !noise.BreaksSymmetry() {
 				folds[i] = autoFoldUnit(model, topo, cl, b, collTun)
 			}
 		default:
@@ -305,6 +312,7 @@ func (e *Exec) RunContext(ctx context.Context, q *Query) (*Result, error) {
 		exec: e, model: model, topo: topo, engine: engine,
 		tun: collTun, body: body, machine: q.Machine,
 		tuning: q.Tuning.Spec(), sizes: q.Sizes, iters: q.Iters,
+		noise: noise, noiseKey: noiseKey(q.Noise),
 	}
 	points := make([]Point, len(q.Sizes))
 	if err := e.runGroups(ctx, env, groups, points); err != nil {
@@ -335,16 +343,32 @@ func groupByFold(folds []int) []pointGroup {
 
 // groupEnv carries the compiled query pieces every group shares.
 type groupEnv struct {
-	exec    *Exec
-	model   *sim.CostModel
-	topo    *sim.Topology
-	engine  sim.Engine
-	tun     coll.Tuning
-	body    runBody
-	machine string
-	tuning  string
-	sizes   []int
-	iters   int
+	exec     *Exec
+	model    *sim.CostModel
+	topo     *sim.Topology
+	engine   sim.Engine
+	tun      coll.Tuning
+	body     runBody
+	machine  string
+	tuning   string
+	sizes    []int
+	iters    int
+	noise    *sim.Noise
+	noiseKey string
+}
+
+// noiseKey renders a canonical noise block as the pool ShapeKey's noise
+// component ("" for a clean world): the canonical JSON is stable field
+// order with sorted map keys, so equal configs key equal.
+func noiseKey(n *Noise) string {
+	if n == nil {
+		return ""
+	}
+	data, err := json.Marshal(n)
+	if err != nil {
+		return fmt.Sprintf("unmarshalable:%v", err)
+	}
+	return string(data)
 }
 
 // runGroups executes every group, sequentially or bounded-parallel,
@@ -425,7 +449,7 @@ func runGroup(ctx context.Context, env groupEnv, g pointGroup, points []Point) e
 	if pool := env.exec.Pool; pool != nil {
 		key := ShapeKey{
 			Machine: env.machine, Topo: env.topo, Engine: env.engine,
-			FoldUnit: g.fold, Tuning: env.tuning,
+			FoldUnit: g.fold, Tuning: env.tuning, Noise: env.noiseKey,
 		}
 		pw, err = pool.Checkout(key, func() (*mpi.World, error) { return buildWorld(env, g.fold) })
 		if err != nil {
@@ -457,6 +481,7 @@ func buildWorld(env groupEnv, fold int) (*mpi.World, error) {
 		Engine:     env.engine,
 		FoldUnit:   fold,
 		CollConfig: env.tun,
+		Noise:      env.noise,
 	})
 }
 

@@ -198,6 +198,9 @@ func FuzzParseQuery(f *testing.F) {
 	f.Add([]byte(pointQuery))
 	f.Add([]byte(`{"machine":"laptop","topology":{"per_leaf":2,"levels":[{"name":"socket","arity":2},{"name":"node","arity":2}]},"collective":"allgather","sizes":[8,64],"engine":"event"}`))
 	f.Add([]byte(`{"machine":"hazelhen-cray","topology":{"nodes":4,"ppn":4},"collective":"barrier","sizes":[1]}`))
+	f.Add([]byte(`{"machine":"laptop","topology":{"nodes":2,"ppn":4},"collective":"allreduce","sizes":[8],"noise":{"seed":42,"jitter":0.25,"stragglers":[5,1],"straggler_factor":4,"congestion":{"net":2,"shm":1.5},"failures":[{"rank":3,"at_ps":1000000}]}}`))
+	f.Add([]byte(`{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8],"noise":{}}`))
+	f.Add([]byte(`{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8],"noise":{"congestion":{"group":1024}}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		q, err := spec.Parse(data)
 		if err != nil {
