@@ -39,6 +39,10 @@
 //	stencil  the process-topology dimension: 4-dim grid halo exchanges
 //	         (CartCreate + NeighborAlltoall) per halo width up to
 //	         -scalemax ranks
+//	tuned    the measured-selection dimension: a congested allreduce
+//	         ladder under the table, cost and measured tuning policies,
+//	         with the tuning store's persistence round trip and the
+//	         warm-path determinism verdict in the loop
 //
 // -cpuprofile / -memprofile write pprof profiles covering the whole
 // run (cases plus sweeps), for digging into control-plane hot spots.
@@ -67,7 +71,7 @@ func main() {
 	check := flag.Bool("check", false, "fail (exit 1) on regression vs -baseline")
 	maxSlow := flag.Float64("maxslow", 3.0, "-check: max allowed ns/op slowdown factor")
 	allocSlack := flag.Float64("allocslack", 1.10, "-check: allocs/op ceiling factor over baseline")
-	sweep := flag.String("sweep", "", "extra sweep dimensions: coll,topo,scale,stencil,service,noise or all")
+	sweep := flag.String("sweep", "", "extra sweep dimensions: coll,topo,scale,stencil,service,noise,tuned or all")
 	scaleMax := flag.Int("scalemax", 65536, "scale sweep: largest rank count to run")
 	noiseSeed := flag.Int64("noiseseed", 42, "noise sweep: seed keying every noisy level")
 	engineSpec := flag.String("engine", "both",
@@ -189,6 +193,12 @@ func main() {
 				fatal(err)
 			}
 			printNoiseSweep(rep.NoiseSweep)
+		}
+		if dims["tuned"] {
+			if rep.TunedSweep, err = bench.RunTunedSweep(*machine, *noiseSeed); err != nil {
+				fatal(err)
+			}
+			printTunedSweep(rep.TunedSweep)
 		}
 	}
 
@@ -355,14 +365,14 @@ func parseSweep(spec string) (map[string]bool, error) {
 		return dims, nil
 	}
 	if spec == "all" {
-		return map[string]bool{"coll": true, "topo": true, "scale": true, "stencil": true, "service": true, "noise": true}, nil
+		return map[string]bool{"coll": true, "topo": true, "scale": true, "stencil": true, "service": true, "noise": true, "tuned": true}, nil
 	}
 	for _, d := range strings.Split(spec, ",") {
 		switch d = strings.TrimSpace(d); d {
-		case "coll", "topo", "scale", "stencil", "service", "noise":
+		case "coll", "topo", "scale", "stencil", "service", "noise", "tuned":
 			dims[d] = true
 		default:
-			return nil, fmt.Errorf("unknown sweep dimension %q (want coll, topo, scale, stencil, service, noise or all)", d)
+			return nil, fmt.Errorf("unknown sweep dimension %q (want coll, topo, scale, stencil, service, noise, tuned or all)", d)
 		}
 	}
 	return dims, nil
@@ -472,6 +482,19 @@ func printNoiseSweep(s *bench.NoiseSweepReport) {
 	for _, p := range s.Points {
 		fmt.Printf("  %-18s %8dB  virtual %10.2f us  slowdown %5.2fx  bit-identical %v\n",
 			p.Label, p.Bytes, p.VirtualUs, p.SlowdownVsClean, p.BitIdentical)
+	}
+}
+
+func printTunedSweep(s *bench.TunedSweepReport) {
+	fmt.Printf("\ntuned-sweep (%s, %s %dx%d, seed %d, congestion net=%g, %d measurements, beats cost on %d points, bit-identical %v):\n",
+		s.Model, s.Collective, s.Nodes, s.PPN, s.Seed, s.CongestionNet, s.Measurements, s.BeatsCost, s.BitIdentical)
+	for _, p := range s.Points {
+		mark := ""
+		if p.MeasuredBeatsCost {
+			mark = "  << measured wins"
+		}
+		fmt.Printf("  %8dB  table %12d ps  cost %12d ps (%s)  measured %12d ps (%s)%s\n",
+			p.Bytes, p.TablePs, p.CostPs, p.CostPick, p.MeasuredPs, p.MeasuredPick, mark)
 	}
 }
 

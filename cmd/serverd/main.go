@@ -115,6 +115,7 @@ func main() {
 	poolRanks := flag.Int("pool-ranks", envInt("REPRO_POOL_RANKS", 0), "warm world pool rank budget (0 = default 2^20, negative disables pooling)")
 	poolIdle := flag.Duration("pool-idle", envDuration("REPRO_POOL_IDLE", 0), "close pooled worlds idle this long (0 = default 60s)")
 	groupParallel := flag.Int("group-parallel", envInt("REPRO_GROUP_PARALLEL", 0), "max concurrent ladder groups per query (0 = default 4)")
+	tuneStore := flag.String("tune-store", envString("REPRO_TUNE_STORE", ""), "path of the persisted measured-policy tuning store (empty = in-memory only)")
 	tenantQPS := flag.Float64("tenant-qps", envFloat("REPRO_TENANT_QPS", 0), "per-tenant rate limit on query endpoints, requests/s by X-Tenant header (0 = unlimited)")
 	tenantBurst := flag.Int("tenant-burst", envInt("REPRO_TENANT_BURST", 0), "per-tenant burst capacity (0 = 2x tenant-qps)")
 	timeout := flag.Duration("timeout", envDuration("REPRO_TIMEOUT", 60*time.Second), "per-request execution budget")
@@ -140,6 +141,7 @@ func main() {
 		WorldPoolRanks:    *poolRanks,
 		WorldPoolIdle:     *poolIdle,
 		GroupParallelism:  *groupParallel,
+		TuneStorePath:     *tuneStore,
 		TenantQPS:         *tenantQPS,
 		TenantBurst:       *tenantBurst,
 		Timeout:           *timeout,

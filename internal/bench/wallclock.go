@@ -75,6 +75,11 @@ type WallReport struct {
 	// agreement across engines and world-reuse paths
 	// (cmd/perf -sweep noise).
 	NoiseSweep *NoiseSweepReport `json:"noise_sweep,omitempty"`
+	// TunedSweep records the measured-selection dimension: the
+	// congested allreduce ladder under the table, cost and measured
+	// tuning policies, with the tuning store's persistence round trip
+	// and the warm-path determinism verdict (cmd/perf -sweep tuned).
+	TunedSweep *TunedSweepReport `json:"tuned_sweep,omitempty"`
 }
 
 // WallCases returns the standard wall-clock workload set: the paper's
@@ -409,6 +414,47 @@ func (rep *WallReport) CheckAgainst(baseline *WallReport, maxSlowdown, allocSlac
 			if common == 0 {
 				violations = append(violations,
 					"noise sweep shares no points with the baseline (ladder shape drifted)")
+			}
+		}
+	}
+	// The measured-selection dimension: the warm tuning store must pin
+	// every path to one timeline, the measured policy must keep
+	// strictly beating the cost prior on the congested window, and —
+	// since every virtual time is seeded and deterministic — points
+	// measured by both builds under the same seed must match exactly.
+	if baseline.TunedSweep != nil {
+		if rep.TunedSweep == nil || len(rep.TunedSweep.Points) == 0 {
+			violations = append(violations, "tuned sweep missing (baseline has one; run with -sweep tuned)")
+		} else {
+			if !rep.TunedSweep.BitIdentical {
+				violations = append(violations,
+					"tuned sweep lost bit-identity across engines/world-reuse paths/reruns")
+			}
+			if rep.TunedSweep.BeatsCost < 2 {
+				violations = append(violations, fmt.Sprintf(
+					"measured policy beats the cost policy on %d points, want >= 2",
+					rep.TunedSweep.BeatsCost))
+			}
+			current := map[int]TunedPoint{}
+			for _, p := range rep.TunedSweep.Points {
+				current[p.Bytes] = p
+			}
+			common := 0
+			for _, b := range baseline.TunedSweep.Points {
+				p, ok := current[b.Bytes]
+				if !ok {
+					continue
+				}
+				common++
+				if rep.TunedSweep.Seed == baseline.TunedSweep.Seed && p.MeasuredPs != b.MeasuredPs {
+					violations = append(violations, fmt.Sprintf(
+						"tuned %dB: measured virtual time moved (%d -> %d ps)",
+						b.Bytes, b.MeasuredPs, p.MeasuredPs))
+				}
+			}
+			if common == 0 {
+				violations = append(violations,
+					"tuned sweep shares no points with the baseline (ladder shape drifted)")
 			}
 		}
 	}

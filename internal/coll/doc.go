@@ -10,15 +10,25 @@
 // its algorithm through a registry: one entry per implemented
 // algorithm, carrying an applicability predicate and an
 // alpha-beta-gamma cost estimate at the call's communicator size,
-// message size and hop class. Two policies select over the entries —
+// message size and hop class. Three policies select over the entries —
 // PolicyTable replicates the machine profile's MPICH/OpenMPI-style
 // cutoff tables (the default, bit-identical in virtual time to the
 // historical hard-wired choices), PolicyCost prices every applicable
-// candidate and picks the cheapest. A Tuning value (policy, forced
-// algorithms, the hybrid window level) threads through mpi.Comm
-// handles and is inherited by derived communicators; the
-// REPRO_COLL_TUNING environment variable configures the process
-// default. TUNING.md at the repository root documents the grammar.
+// candidate and picks the cheapest, and PolicyMeasured serves cached
+// measured winners from a tuning store (internal/tune, raced by
+// internal/spec's background tuner) and falls back to the cost choice
+// while a point's measurement is pending. Wherever candidates are
+// minimized over — PolicyCost prices, PolicyMeasured races — ties
+// break by registration order: the first-registered of equal-cost
+// candidates wins, deterministically. That ordering is part of the
+// bit-identity contract (a tie that broke differently across two runs
+// would change virtual times) and is pinned by an explicit test. A
+// Tuning value (policy, forced algorithms, the measurement-cache
+// hooks, the hybrid window level) threads through mpi.Comm handles and
+// is inherited by derived communicators; the REPRO_COLL_TUNING
+// environment variable configures the process default. TUNING.md at
+// the repository root documents the grammar and the measured policy's
+// on-disk store format.
 //
 // # Hierarchical composition
 //

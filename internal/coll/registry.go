@@ -10,8 +10,9 @@ import (
 // This file is the collective selection engine: a registry enumerating
 // every algorithm the package implements per collective, each with an
 // applicability predicate and an alpha-beta-gamma cost estimate, plus
-// the two selection policies (the profile's static cutoff table and
-// the cost-model minimizer) that every entry point routes through.
+// the three selection policies (the profile's static cutoff table, the
+// cost-model minimizer, and the measurement cache with its cost
+// fallback) that every entry point routes through.
 
 // Collective identifies one collective operation family in the
 // registry and in Tuning.Force keys.
@@ -512,14 +513,33 @@ func findEntry(cl Collective, name string) *entry {
 
 // pick resolves the algorithm for one call: a forced override first
 // (falling back to the policy when it cannot serve the call), then the
-// configured policy.
+// configured policy. PolicyMeasured probes the tuning cache and falls
+// through to the PolicyCost minimization on a miss (reporting the miss
+// through OnMiss so a background tuner can measure the point), so a
+// measured-policy call never blocks. In both minimizing policies ties
+// break by registration order: the strict `<` comparison keeps the
+// first-registered of equal-cost candidates, which is load-bearing for
+// bit-identical reruns (TestCostPolicyTieBreaksByRegistrationOrder
+// pins it).
 func pick(cl Collective, e Env, tun Tuning, inPlace bool) (*entry, error) {
 	if name := tun.Force[cl]; name != "" {
 		if en := findEntry(cl, name); en != nil && en.available(e, inPlace) {
 			return en, nil
 		}
 	}
-	if tun.Policy == PolicyCost {
+	if tun.Policy == PolicyMeasured {
+		if tun.Lookup != nil {
+			if name, ok := tun.Lookup(cl, e); ok {
+				if en := findEntry(cl, name); en != nil && en.available(e, inPlace) {
+					return en, nil
+				}
+			} else if tun.OnMiss != nil {
+				tun.OnMiss(cl, e)
+			}
+		}
+		// Miss (or no cache attached): the cost prior answers now.
+	}
+	if tun.Policy == PolicyCost || tun.Policy == PolicyMeasured {
 		var best *entry
 		var bestCost sim.Time
 		ents := registry[cl]
@@ -547,6 +567,15 @@ func pick(cl Collective, e Env, tun Tuning, inPlace bool) (*entry, error) {
 
 // Registered reports whether an algorithm name exists for a collective.
 func Registered(cl Collective, name string) bool { return findEntry(cl, name) != nil }
+
+// Available reports whether a registered algorithm can serve the
+// described call (its runner for the requested form exists and its
+// applicability predicate holds). The measured-policy tuner uses it to
+// race only the candidates the engine could actually pick.
+func Available(cl Collective, name string, e Env, inPlace bool) bool {
+	en := findEntry(cl, name)
+	return en != nil && en.available(e, inPlace)
+}
 
 // FoldSafe reports whether a registered algorithm carries the
 // rank-symmetry metadata: it is known to execute a

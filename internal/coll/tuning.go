@@ -22,6 +22,14 @@ const (
 	// call's comm size, message size and hop class, and the cheapest
 	// wins (ties break by registration order, deterministically).
 	PolicyCost
+	// PolicyMeasured serves selections from a measurement cache (the
+	// internal/tune store, consulted through Tuning.Lookup): on a hit
+	// the cached winner runs; on a miss the engine reports the point
+	// through Tuning.OnMiss (so a background tuner can race the
+	// candidates' virtual times) and falls back to the PolicyCost
+	// choice, so calls never block on a measurement. With no Lookup
+	// installed it degenerates to PolicyCost exactly.
+	PolicyMeasured
 )
 
 // String names the policy.
@@ -31,6 +39,8 @@ func (p Policy) String() string {
 		return "table"
 	case PolicyCost:
 		return "cost"
+	case PolicyMeasured:
+		return "measured"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -43,8 +53,10 @@ func ParsePolicy(s string) (Policy, error) {
 		return PolicyTable, nil
 	case "cost":
 		return PolicyCost, nil
+	case "measured":
+		return PolicyMeasured, nil
 	default:
-		return 0, fmt.Errorf("coll: unknown policy %q (want table or cost)", s)
+		return 0, fmt.Errorf("coll: unknown policy %q (want table, cost or measured)", s)
 	}
 }
 
@@ -70,6 +82,20 @@ type Tuning struct {
 	// node ("socket", "numa"). Parsed from the sharedlevel= key of
 	// the spec tuning grammar.
 	SharedLevel string
+	// Lookup is the PolicyMeasured cache probe: given a call's family
+	// and selection environment it returns the measured winner's name,
+	// or ok=false on a miss. internal/spec installs a closure over an
+	// immutable tuning-store snapshot here, so every pick within one
+	// Run resolves against the same store generation (bit-identical
+	// reruns on a warm store). A name that is unknown or inapplicable
+	// at the call site falls back to the policy path like Force does.
+	// Nil means every lookup misses.
+	Lookup func(Collective, Env) (string, bool)
+	// OnMiss, when non-nil, is invoked under PolicyMeasured for every
+	// Lookup miss before the cost fallback runs. It must not block:
+	// internal/spec's tuner uses it to enqueue a background
+	// measurement of the missed point (singleflight per key).
+	OnMiss func(Collective, Env)
 }
 
 // defaultTun holds the process-wide default tuning (nil = zero Tuning).

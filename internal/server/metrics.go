@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/spec"
+	"repro/internal/tune"
 )
 
 // latencyBuckets are the fixed upper bounds (seconds) of the request
@@ -70,9 +71,9 @@ func (m *metrics) request(endpoint string, code int, d time.Duration) {
 }
 
 // render writes the Prometheus text exposition of every metric.
-// cacheLen, idleWorkers and the world-pool snapshot are sampled by the
-// caller at scrape time.
-func (m *metrics) render(w *strings.Builder, cacheLen, idleWorkers int, pointCap, sweepCap int, ps spec.PoolStats) {
+// cacheLen, idleWorkers and the world-pool and tuning-store snapshots
+// are sampled by the caller at scrape time.
+func (m *metrics) render(w *strings.Builder, cacheLen, idleWorkers int, pointCap, sweepCap int, ps spec.PoolStats, ts tune.Stats) {
 	fmt.Fprintf(w, "# HELP repro_requests_total Completed HTTP requests by endpoint and status code.\n")
 	fmt.Fprintf(w, "# TYPE repro_requests_total counter\n")
 	m.mu.Lock()
@@ -147,6 +148,23 @@ func (m *metrics) render(w *strings.Builder, cacheLen, idleWorkers int, pointCap
 	fmt.Fprintf(w, "repro_world_pool_retired_total{reason=\"reaped\"} %d\n", ps.Reaped)
 	fmt.Fprintf(w, "repro_world_pool_retired_total{reason=\"recycled\"} %d\n", ps.Recycled)
 	fmt.Fprintf(w, "repro_world_pool_retired_total{reason=\"discarded\"} %d\n", ps.Discarded)
+
+	fmt.Fprintf(w, "# HELP repro_tune_store_entries Cached measured-policy selection points in the tuning store.\n")
+	fmt.Fprintf(w, "# TYPE repro_tune_store_entries gauge\nrepro_tune_store_entries %d\n", ts.Entries)
+	fmt.Fprintf(w, "# HELP repro_tune_store_generation Tuning-store insert counter (grows with every measured winner).\n")
+	fmt.Fprintf(w, "# TYPE repro_tune_store_generation gauge\nrepro_tune_store_generation %d\n", ts.Generation)
+	fmt.Fprintf(w, "# HELP repro_tune_hits_total Measured-policy selections served from the tuning store.\n")
+	fmt.Fprintf(w, "# TYPE repro_tune_hits_total counter\nrepro_tune_hits_total %d\n", ts.Hits)
+	fmt.Fprintf(w, "# HELP repro_tune_misses_total Measured-policy selections that fell back to the cost prior.\n")
+	fmt.Fprintf(w, "# TYPE repro_tune_misses_total counter\nrepro_tune_misses_total %d\n", ts.Misses)
+	tuneRatio := 0.0
+	if ts.Hits+ts.Misses > 0 {
+		tuneRatio = float64(ts.Hits) / float64(ts.Hits+ts.Misses)
+	}
+	fmt.Fprintf(w, "# HELP repro_tune_hit_ratio Fraction of measured-policy selections served from the store.\n")
+	fmt.Fprintf(w, "# TYPE repro_tune_hit_ratio gauge\nrepro_tune_hit_ratio %g\n", tuneRatio)
+	fmt.Fprintf(w, "# HELP repro_tune_measurements_total Background candidate races completed by the tuner.\n")
+	fmt.Fprintf(w, "# TYPE repro_tune_measurements_total counter\nrepro_tune_measurements_total %d\n", ts.Measured)
 
 	fmt.Fprintf(w, "# HELP repro_request_seconds Request latency.\n")
 	fmt.Fprintf(w, "# TYPE repro_request_seconds histogram\n")

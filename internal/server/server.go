@@ -27,6 +27,11 @@
 //   - each execution runs under the configured timeout; expiry aborts
 //     the in-flight world (every blocked rank wakes) and the client
 //     gets 504
+//   - every daemon carries a measured-policy tuning store (spec.Tuner
+//     over internal/tune): queries with tuning policy "measured" serve
+//     cached measured winners and feed background measurements;
+//     Config.TuneStorePath persists the store across restarts — see
+//     the repro_tune_* metrics and TUNING.md
 //
 // Endpoints: POST /v1/run (simulate), POST /v1/price (selection-engine
 // estimates, no simulation), POST /v1/canon (canonical form +
@@ -51,6 +56,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/spec"
+	"repro/internal/tune"
 )
 
 // Config sizes the service. The zero value is usable: every field
@@ -113,6 +119,13 @@ type Config struct {
 	// a tenant may issue back to back before the QPS rate gates it
 	// (default: 2*TenantQPS rounded up, at least 1).
 	TenantBurst int
+	// TuneStorePath is where the measured-policy tuning store lives on
+	// disk: loaded at startup (a corrupt or version-mismatched file is
+	// logged, rejected, and the store starts fresh) and persisted
+	// atomically on Close. Empty keeps the store in memory only — the
+	// measured policy still works, its winners just die with the
+	// daemon.
+	TuneStorePath string
 	// Timeout is the per-request execution budget; expiry aborts the
 	// world and returns 504 (default 60s).
 	Timeout time.Duration
@@ -132,6 +145,7 @@ type Server struct {
 	met     *metrics
 	mux     *http.ServeMux
 	tenants *tenantLimiter // nil when TenantQPS is 0
+	tuner   *spec.Tuner    // measured-policy measurement backfill
 	exec    spec.Exec      // warm-world execution environment
 	points  chan struct{}  // point-class worker slots
 	sweeps  chan struct{}  // sweep-class worker slots
@@ -204,6 +218,20 @@ func New(cfg Config) *Server {
 	if cfg.TenantQPS > 0 {
 		s.tenants = newTenantLimiter(cfg.TenantQPS, cfg.TenantBurst)
 	}
+	store := tune.NewStore()
+	if cfg.TuneStorePath != "" {
+		loaded, err := tune.Load(cfg.TuneStorePath)
+		if err != nil {
+			cfg.Logger.Warn("tuning store rejected, starting fresh",
+				"path", cfg.TuneStorePath, "error", err)
+		} else if loaded.Len() > 0 {
+			cfg.Logger.Info("tuning store loaded",
+				"path", cfg.TuneStorePath, "entries", loaded.Len())
+		}
+		store = loaded
+	}
+	s.tuner = spec.NewTuner(store)
+	s.exec.Tuner = s.tuner
 	s.exec.Parallelism = cfg.GroupParallelism
 	s.exec.PerPointWorlds = cfg.PerPointWorlds
 	if cfg.WorldPoolRanks > 0 && !cfg.PerPointWorlds {
@@ -230,6 +258,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // reserve via mpi.DrainIdleWorkers.
 func (s *Server) Close() {
 	s.stop()
+	s.tuner.Close()
+	if s.cfg.TuneStorePath != "" {
+		if err := s.tuner.Store().Save(s.cfg.TuneStorePath); err != nil {
+			s.cfg.Logger.Error("persisting tuning store failed",
+				"path", s.cfg.TuneStorePath, "error", err)
+		} else {
+			s.cfg.Logger.Info("tuning store persisted",
+				"path", s.cfg.TuneStorePath, "entries", s.tuner.Store().Len())
+		}
+	}
 	if s.exec.Pool != nil {
 		s.exec.Pool.Close()
 	}
@@ -247,6 +285,14 @@ func (s *Server) PoolStats() spec.PoolStats {
 	}
 	return s.exec.Pool.Stats()
 }
+
+// TuneStats snapshots the measured-policy tuning store's counters.
+func (s *Server) TuneStats() tune.Stats { return s.tuner.Store().Stats() }
+
+// DrainTuner blocks until the background measurement queue is empty —
+// the warm-up hook tests and the bench harness use between a cold run
+// and its warm rerun.
+func (s *Server) DrainTuner() { s.tuner.Drain() }
 
 // httpError is an error carrying the status code the handler should
 // answer with.
@@ -427,6 +473,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &httpError{http.StatusBadRequest, err})
 		return
 	}
+	// Measured-policy results depend on the tuning store's contents as
+	// well as the query, so their cache and coalescing key carries the
+	// store generation: once the tuner learns a point, the next
+	// identical request re-executes against the warmer store instead of
+	// replaying a staler cached answer.
+	if q.Tuning.Policy == "measured" {
+		fp += "@g" + strconv.FormatUint(s.tuner.Store().Generation(), 10)
+	}
 	if res, ok := s.cache.get("run:" + fp); ok {
 		s.met.cacheHits.Add(1)
 		w.Header().Set("X-Cache", "hit")
@@ -567,7 +621,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics is GET /metrics: Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var b strings.Builder
-	s.met.render(&b, s.cache.len(), mpi.IdleWorkers(), s.cfg.Workers, s.cfg.SweepWorkers, s.PoolStats())
+	s.met.render(&b, s.cache.len(), mpi.IdleWorkers(), s.cfg.Workers, s.cfg.SweepWorkers, s.PoolStats(), s.TuneStats())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	io.WriteString(w, b.String()) //nolint:errcheck // client gone is the only failure
 }

@@ -36,6 +36,11 @@ type ShapeKey struct {
 	// queries can only share a resident world when their noise configs
 	// are identical.
 	Noise string
+	// TuneGen is the tuning-store generation a measured-policy query's
+	// selections are bound to (0 otherwise). A world built against an
+	// older snapshot carries that snapshot's picks in its CollConfig,
+	// so it must not serve a query that expects newer measurements.
+	TuneGen uint64
 }
 
 // PoolConfig sizes a WorldPool. The zero value is usable: every field

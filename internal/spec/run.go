@@ -210,6 +210,13 @@ type Exec struct {
 	// bit-compared against (and the baseline the service sweep's cold
 	// phase measures speedup over).
 	PerPointWorlds bool
+	// Tuner, when non-nil, backs the measured tuning policy: queries
+	// with policy "measured" resolve selections against one snapshot
+	// of its store (taken at run start, so a whole run sees one store
+	// generation) and report world-communicator misses to it for
+	// background measurement. Nil makes the measured policy behave
+	// exactly like the cost policy.
+	Tuner *Tuner
 }
 
 // Run executes the query and returns its Result. The query is
@@ -276,6 +283,15 @@ func (e *Exec) RunContext(ctx context.Context, q *Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	nk := noiseKey(q.Noise)
+
+	// Measured policy: bind the selections to one store snapshot before
+	// anything (fold resolution included) consults the tuning, so the
+	// fold units and the worlds' picks always agree.
+	var tuneGen uint64
+	if collTun.Policy == coll.PolicyMeasured && e.Tuner != nil {
+		tuneGen = installMeasured(&collTun, e.Tuner, model, topo, noise, nk)
+	}
 
 	// Resolve every point's fold unit up front: the grouping key.
 	// Noise that breaks rank symmetry self-disables folding — replica
@@ -312,7 +328,7 @@ func (e *Exec) RunContext(ctx context.Context, q *Query) (*Result, error) {
 		exec: e, model: model, topo: topo, engine: engine,
 		tun: collTun, body: body, machine: q.Machine,
 		tuning: q.Tuning.Spec(), sizes: q.Sizes, iters: q.Iters,
-		noise: noise, noiseKey: noiseKey(q.Noise),
+		noise: noise, noiseKey: nk, tuneGen: tuneGen,
 	}
 	points := make([]Point, len(q.Sizes))
 	if err := e.runGroups(ctx, env, groups, points); err != nil {
@@ -355,6 +371,7 @@ type groupEnv struct {
 	iters    int
 	noise    *sim.Noise
 	noiseKey string
+	tuneGen  uint64
 }
 
 // noiseKey renders a canonical noise block as the pool ShapeKey's noise
@@ -450,6 +467,7 @@ func runGroup(ctx context.Context, env groupEnv, g pointGroup, points []Point) e
 		key := ShapeKey{
 			Machine: env.machine, Topo: env.topo, Engine: env.engine,
 			FoldUnit: g.fold, Tuning: env.tuning, Noise: env.noiseKey,
+			TuneGen: env.tuneGen,
 		}
 		pw, err = pool.Checkout(key, func() (*mpi.World, error) { return buildWorld(env, g.fold) })
 		if err != nil {

@@ -42,6 +42,8 @@ func TestTuningRoundTrip(t *testing.T) {
 		"policy=table",
 		"policy=cost",
 		"policy=cost,allreduce=rabenseifner,barrier=central",
+		"policy=measured",
+		"policy=measured,allreduce=recdbl",
 		"sharedlevel=socket,gather=linear,scan=linear",
 		"bcast=binomial,policy=cost,sharedlevel=numa",
 	} {
@@ -78,6 +80,20 @@ func TestTuningCollConversion(t *testing.T) {
 	if back.Spec() != tun.Spec() {
 		t.Errorf("round trip through coll.Tuning: %q != %q", back.Spec(), tun.Spec())
 	}
+	mt, err := spec.ParseTuning("policy=measured")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mct, err := mt.Coll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mct.Policy != coll.PolicyMeasured {
+		t.Fatalf("measured converted to %v", mct.Policy)
+	}
+	if back := spec.TuningFromColl(mct); back.Spec() != "policy=measured" {
+		t.Errorf("measured render: %q", back.Spec())
+	}
 }
 
 func FuzzParseTuning(f *testing.F) {
@@ -86,6 +102,9 @@ func FuzzParseTuning(f *testing.F) {
 	f.Add("policy=table,barrier=central,bcast=binomial")
 	f.Add("")
 	f.Add("warp=9")
+	f.Add("policy=measured")
+	f.Add("policy=measured,allreduce=recdbl,sharedlevel=numa")
+	f.Add("policy=measured,store=ignored")
 	f.Fuzz(func(t *testing.T, s string) {
 		tun, err := spec.ParseTuning(s)
 		if err != nil {
@@ -201,6 +220,9 @@ func FuzzParseQuery(f *testing.F) {
 	f.Add([]byte(`{"machine":"laptop","topology":{"nodes":2,"ppn":4},"collective":"allreduce","sizes":[8],"noise":{"seed":42,"jitter":0.25,"stragglers":[5,1],"straggler_factor":4,"congestion":{"net":2,"shm":1.5},"failures":[{"rank":3,"at_ps":1000000}]}}`))
 	f.Add([]byte(`{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8],"noise":{}}`))
 	f.Add([]byte(`{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"bcast","sizes":[8],"noise":{"congestion":{"group":1024}}}`))
+	f.Add([]byte(`{"machine":"laptop","topology":{"nodes":8,"ppn":8},"collective":"allreduce","sizes":[1024,16384],"tuning":{"policy":"measured"},"noise":{"seed":1,"congestion":{"net":16}}}`))
+	f.Add([]byte(`{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"allreduce","sizes":[8],"tuning":{"policy":"measured","force":{"allreduce":"recdbl"}}}`))
+	f.Add([]byte(`{"machine":"laptop","topology":{"nodes":2,"ppn":2},"collective":"allreduce","sizes":[8],"tuning":{"policy":"measured","store":"/tmp/x"}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		q, err := spec.Parse(data)
 		if err != nil {

@@ -17,8 +17,10 @@ import (
 // value means "all defaults"; Canonicalize resolves it to the explicit
 // canonical form (policy "table").
 type Tuning struct {
-	// Policy is "table" (profile cutoff tables, the default) or "cost"
-	// (LogGP minimizer over every applicable candidate).
+	// Policy is "table" (profile cutoff tables, the default), "cost"
+	// (LogGP minimizer over every applicable candidate), or "measured"
+	// (winners cached in the tuning store, cost fallback while a
+	// point's measurement is pending — see TUNING.md).
 	Policy string `json:"policy,omitempty"`
 	// Force pins collectives to named algorithms, e.g.
 	// {"allreduce": "rabenseifner"}. Keys are collective names, values
@@ -36,7 +38,8 @@ type Tuning struct {
 const EnvVar = "REPRO_COLL_TUNING"
 
 // ParseTuning parses the textual tuning grammar of comma-separated
-// key=value pairs: "policy" takes "table" or "cost"; "sharedlevel"
+// key=value pairs: "policy" takes "table", "cost" or "measured";
+// "sharedlevel"
 // takes a topology level name; a collective name (allgather,
 // allreduce, bcast, ...) takes the algorithm to force, e.g.
 //
@@ -88,9 +91,9 @@ func (t *Tuning) Canonicalize() error {
 	switch t.Policy {
 	case "":
 		t.Policy = "table"
-	case "table", "cost":
+	case "table", "cost", "measured":
 	default:
-		return fmt.Errorf("spec: unknown policy %q (want table or cost)", t.Policy)
+		return fmt.Errorf("spec: unknown policy %q (want table, cost or measured)", t.Policy)
 	}
 	if len(t.Force) == 0 {
 		t.Force = nil
@@ -139,8 +142,11 @@ func (t Tuning) Coll() (coll.Tuning, error) {
 		return coll.Tuning{}, err
 	}
 	var ct coll.Tuning
-	if t.Policy == "cost" {
+	switch t.Policy {
+	case "cost":
 		ct.Policy = coll.PolicyCost
+	case "measured":
+		ct.Policy = coll.PolicyMeasured
 	}
 	ct.SharedLevel = t.SharedLevel
 	for name, algo := range t.Force {
